@@ -1,0 +1,49 @@
+// Ablation: the CC structure behind the fully-dynamic clusterer.
+// HDT [14] gives O~(1) amortized updates (the structure Theorem 4 cites);
+// BFS relabeling has no sublinear guarantee but low constants on the small,
+// sparse grid graph. This bench quantifies the trade-off on the paper's
+// workloads — average cost and worst-case update cost.
+//
+// Flags: --n (default 40000), --seed, --fqry-frac, --ins-pct, --dims.
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench/bench_common.h"
+#include "core/fully_dynamic_clusterer.h"
+
+int main(int argc, char** argv) {
+  ddc::Flags flags(argc, argv);
+  const auto config = ddc::bench::BenchConfig::FromFlags(flags, 40000);
+  const double ins = flags.GetDouble("ins-pct", 5.0 / 6.0);
+
+  std::vector<int> dims;
+  std::stringstream ss(flags.GetString("dims", "2,3"));
+  for (std::string tok; std::getline(ss, tok, ',');) dims.push_back(std::stoi(tok));
+
+  std::printf("=== Ablation: HDT vs BFS connectivity (fully-dynamic) ===\n");
+  std::printf("%-6s%-8s%14s%14s%14s\n", "d", "cc", "avg(us)", "maxupd(us)",
+              "qry(us)");
+  for (const int dim : dims) {
+    const ddc::Workload w = ddc::bench::PaperWorkload(
+        dim, config.n, ins, config.query_every, config.seed);
+    const ddc::DbscanParams params = ddc::bench::PaperParams(dim);
+
+    for (const auto& [name, kind] :
+         {std::pair<const char*, ddc::ConnectivityKind>{
+              "hdt", ddc::ConnectivityKind::kHdt},
+          {"bfs", ddc::ConnectivityKind::kBfs}}) {
+      ddc::FullyDynamicClusterer::Options options;
+      options.connectivity = kind;
+      ddc::FullyDynamicClusterer clusterer(params, options);
+      ddc::RunOptions run_options;
+      run_options.time_budget_seconds = config.budget_seconds;
+      const ddc::RunStats stats = ddc::RunWorkload(clusterer, w, run_options);
+      std::printf("%-6d%-8s%14.2f%14.1f%14.2f%s\n", dim, name,
+                  stats.avg_workload_cost_us, stats.max_update_cost_us,
+                  stats.avg_query_cost_us, stats.timed_out ? "  [TIMEOUT]" : "");
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

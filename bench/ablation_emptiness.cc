@@ -1,0 +1,76 @@
+// Ablation: the per-cell emptiness structure (Section 4.2) and the range
+// counter (Section 7.3). Brute-force scans exploit the don't-care band via
+// early exit; the sub-grid variants collapse co-located points. Run at the
+// paper's rho = 0.001 and at a coarse rho = 0.1.
+//
+// Flags: --n (default 40000), --seed, --fqry-frac, --ins-pct, --dim.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/fully_dynamic_clusterer.h"
+#include "core/semi_dynamic_clusterer.h"
+
+int main(int argc, char** argv) {
+  ddc::Flags flags(argc, argv);
+  const auto config = ddc::bench::BenchConfig::FromFlags(flags, 40000);
+  const double ins = flags.GetDouble("ins-pct", 5.0 / 6.0);
+  const int dim = static_cast<int>(flags.GetInt("dim", 3));
+
+  std::printf("=== Ablation: emptiness / counter structures (d=%d) ===\n",
+              dim);
+  std::printf("%-10s%-14s%-12s%14s%14s\n", "rho", "clusterer", "structures",
+              "avg(us)", "maxupd(us)");
+
+  for (const double rho : {0.001, 0.1}) {
+    const ddc::DbscanParams params = ddc::bench::PaperParams(dim, 100.0, rho);
+
+    // Semi-dynamic: emptiness structure choice.
+    {
+      const ddc::Workload w = ddc::bench::PaperWorkload(
+          dim, config.n, 1.0, config.query_every, config.seed);
+      for (const auto& [name, kind] :
+           {std::pair<const char*, ddc::EmptinessKind>{
+                "brute", ddc::EmptinessKind::kBruteForce},
+            {"subgrid", ddc::EmptinessKind::kSubGrid}}) {
+        ddc::SemiDynamicClusterer clusterer(params, kind);
+        ddc::RunOptions run_options;
+        run_options.time_budget_seconds = config.budget_seconds;
+        const ddc::RunStats stats = ddc::RunWorkload(clusterer, w, run_options);
+        std::printf("%-10.3f%-14s%-12s%14.2f%14.1f%s\n", rho, "semi", name,
+                    stats.avg_workload_cost_us, stats.max_update_cost_us,
+                    stats.timed_out ? "  [TIMEOUT]" : "");
+        std::fflush(stdout);
+      }
+    }
+    // Fully-dynamic: emptiness x counter choice.
+    {
+      const ddc::Workload w = ddc::bench::PaperWorkload(
+          dim, config.n, ins, config.query_every, config.seed);
+      struct Combo {
+        const char* name;
+        ddc::EmptinessKind emptiness;
+        ddc::CounterKind counter;
+      };
+      for (const Combo& combo :
+           {Combo{"brute+exact", ddc::EmptinessKind::kBruteForce,
+                  ddc::CounterKind::kExact},
+            Combo{"sub+sub", ddc::EmptinessKind::kSubGrid,
+                  ddc::CounterKind::kSubGrid}}) {
+        ddc::FullyDynamicClusterer::Options options;
+        options.emptiness = combo.emptiness;
+        options.counter = combo.counter;
+        ddc::FullyDynamicClusterer clusterer(params, options);
+        ddc::RunOptions run_options;
+        run_options.time_budget_seconds = config.budget_seconds;
+        const ddc::RunStats stats = ddc::RunWorkload(clusterer, w, run_options);
+        std::printf("%-10.3f%-14s%-12s%14.2f%14.1f%s\n", rho, "full",
+                    combo.name, stats.avg_workload_cost_us,
+                    stats.max_update_cost_us,
+                    stats.timed_out ? "  [TIMEOUT]" : "");
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+#ifndef DDC_BENCH_BENCH_COMMON_H_
+#define DDC_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/clusterer.h"
+#include "core/params.h"
+#include "workload/runner.h"
+#include "workload/workload.h"
+
+namespace ddc {
+namespace bench {
+
+/// The five algorithm configurations of Section 8.1's evaluation:
+///   "2d-semi-exact"  — Theorem 1 with rho = 0 (exact DBSCAN, insert-only)
+///   "semi-approx"    — Theorem 1, ρ-approximate, insert-only
+///   "2d-full-exact"  — Theorem 4 with rho = 0 (exact DBSCAN, fully dynamic)
+///   "double-approx"  — Theorem 4, ρ-double-approximate, fully dynamic
+///   "inc-dbscan"     — the IncDBSCAN baseline [8]
+std::unique_ptr<Clusterer> MakeMethod(const std::string& name,
+                                      DbscanParams params);
+
+/// The paper's default parameters (Table 2): eps = eps_over_d * d,
+/// MinPts = 10, rho = 0.001 for approximate methods (forced to 0 for the
+/// exact ones inside MakeMethod).
+DbscanParams PaperParams(int dim, double eps_over_d = 100.0,
+                         double rho = 0.001);
+
+/// A Section 8.1 workload: N updates at the given insertion fraction, one
+/// C-group-by query (|Q| ~ U[2,100]) every `query_every` updates.
+Workload PaperWorkload(int dim, int64_t n, double ins_fraction,
+                       int64_t query_every, uint64_t seed);
+
+/// Runs one (method, workload) pair under a time budget.
+RunStats RunMethod(const std::string& method, const DbscanParams& params,
+                   const Workload& workload, double budget_seconds,
+                   int checkpoints = 10);
+
+/// Formats a cost cell; "TIMEOUT(>x)" when the run did not finish.
+std::string Cell(const RunStats& stats, double value);
+
+/// Prints the per-checkpoint avgcost / maxupdcost series of several
+/// finished runs (one row per method), in the style of Figures 8/9/12/13.
+void PrintSeries(const std::string& title,
+                 const std::vector<std::string>& method_names,
+                 const std::vector<RunStats>& runs);
+
+/// Prints a parameter-sweep table (one row per x value, one column per
+/// method, cell = average workload cost), in the style of Figures 10/11/14/15.
+void PrintSweep(const std::string& title, const std::string& x_label,
+                const std::vector<std::string>& x_values,
+                const std::vector<std::string>& method_names,
+                const std::vector<std::vector<RunStats>>& cells);
+
+/// Shared flag defaults for the figure benches.
+struct BenchConfig {
+  int64_t n;
+  double budget_seconds;
+  uint64_t seed;
+  int64_t query_every;  // Derived: fqry fraction * n.
+
+  static BenchConfig FromFlags(const Flags& flags, int64_t default_n);
+};
+
+}  // namespace bench
+}  // namespace ddc
+
+#endif  // DDC_BENCH_BENCH_COMMON_H_

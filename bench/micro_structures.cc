@@ -1,0 +1,160 @@
+// google-benchmark microbenchmarks of the individual substrates: union-find,
+// Euler-tour forests, HDT connectivity, grid maintenance, emptiness queries
+// and range counting. These are the per-operation costs the amortized
+// analyses of Theorems 1 and 4 are built from.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "connectivity/hdt.h"
+#include "core/emptiness.h"
+#include "counting/approx_counter.h"
+#include "grid/grid.h"
+#include "unionfind/union_find.h"
+
+namespace ddc {
+namespace {
+
+void BM_UnionFind_FindAfterUnions(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  UnionFind uf(n);
+  Rng rng(1);
+  for (int i = 0; i < n / 2; ++i) {
+    uf.Union(static_cast<int>(rng.NextBelow(n)),
+             static_cast<int>(rng.NextBelow(n)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uf.Find(static_cast<int>(rng.NextBelow(n))));
+  }
+}
+BENCHMARK(BM_UnionFind_FindAfterUnions)->Arg(1024)->Arg(65536);
+
+void BM_Ett_LinkCut(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  EulerTourForest f;
+  f.EnsureVertices(n);
+  Rng rng(2);
+  // A random spanning path to keep trees non-trivial.
+  std::vector<EulerTourForest::ArcPair> arcs;
+  for (int i = 0; i + 1 < n; ++i) arcs.push_back(f.Link(i, i + 1));
+  for (auto _ : state) {
+    const int i = static_cast<int>(rng.NextBelow(arcs.size()));
+    f.Cut(arcs[i]);
+    arcs[i] = f.Link(i, i + 1);
+  }
+}
+BENCHMARK(BM_Ett_LinkCut)->Arg(1024)->Arg(16384);
+
+void BM_Hdt_InsertDeleteMix(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  HdtConnectivity c;
+  c.EnsureVertices(n);
+  Rng rng(3);
+  std::vector<std::pair<int, int>> edges;
+  std::set<std::pair<int, int>> present;
+  for (auto _ : state) {
+    const int u = static_cast<int>(rng.NextBelow(n));
+    const int v = static_cast<int>(rng.NextBelow(n));
+    if (u == v) continue;
+    const auto key = std::minmax(u, v);
+    if (present.count(key) == 0 &&
+        (edges.size() < static_cast<size_t>(n) || rng.NextBernoulli(0.5))) {
+      c.AddEdge(u, v);
+      present.insert(key);
+      edges.push_back(key);
+    } else if (!edges.empty()) {
+      const size_t i = rng.NextBelow(edges.size());
+      if (present.count(edges[i])) {
+        c.RemoveEdge(edges[i].first, edges[i].second);
+        present.erase(edges[i]);
+        edges[i] = edges.back();
+        edges.pop_back();
+      }
+    }
+  }
+}
+BENCHMARK(BM_Hdt_InsertDeleteMix)->Arg(512)->Arg(4096);
+
+void BM_Hdt_ComponentId(benchmark::State& state) {
+  const int n = 4096;
+  HdtConnectivity c;
+  c.EnsureVertices(n);
+  Rng rng(4);
+  for (int i = 0; i < 2 * n; ++i) {
+    const int u = static_cast<int>(rng.NextBelow(n));
+    const int v = static_cast<int>(rng.NextBelow(n));
+    if (u != v && !c.Connected(u, v)) c.AddEdge(u, v);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        c.ComponentId(static_cast<int>(rng.NextBelow(n))));
+  }
+}
+BENCHMARK(BM_Hdt_ComponentId);
+
+void BM_Grid_InsertDelete(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  Grid grid(dim, 100.0 * dim);
+  Rng rng(5);
+  std::vector<PointId> alive;
+  for (auto _ : state) {
+    if (alive.size() < 10000 || rng.NextBernoulli(0.5)) {
+      Point p;
+      for (int i = 0; i < dim; ++i) p[i] = rng.NextDouble(0, 100000.0);
+      alive.push_back(grid.Insert(p).id);
+    } else {
+      const size_t i = rng.NextBelow(alive.size());
+      grid.Delete(alive[i]);
+      alive[i] = alive.back();
+      alive.pop_back();
+    }
+  }
+}
+BENCHMARK(BM_Grid_InsertDelete)->Arg(2)->Arg(3)->Arg(7);
+
+void BM_Emptiness_Query(benchmark::State& state) {
+  const bool subgrid = state.range(0) == 1;
+  DbscanParams params{.dim = 3, .eps = 300.0, .min_pts = 10, .rho = 0.001};
+  Grid grid(3, params.eps);
+  auto s = MakeEmptinessStructure(
+      subgrid ? EmptinessKind::kSubGrid : EmptinessKind::kBruteForce, &grid,
+      params);
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    Point p;
+    for (int k = 0; k < 3; ++k) p[k] = rng.NextDouble(0, grid.side());
+    s->Insert(grid.Insert(p).id);
+  }
+  for (auto _ : state) {
+    Point q;
+    for (int k = 0; k < 3; ++k) q[k] = rng.NextDouble(-300, 300 + grid.side());
+    benchmark::DoNotOptimize(s->Query(q));
+  }
+}
+BENCHMARK(BM_Emptiness_Query)->Arg(0)->Arg(1);
+
+void BM_Counter_Count(benchmark::State& state) {
+  const bool subgrid = state.range(0) == 1;
+  DbscanParams params{.dim = 3, .eps = 300.0, .min_pts = 10, .rho = 0.001};
+  Grid grid(3, params.eps);
+  ApproxRangeCounter counter(
+      &grid, params, subgrid ? CounterKind::kSubGrid : CounterKind::kExact);
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    Point p;
+    for (int k = 0; k < 3; ++k) p[k] = rng.NextDouble(0, 3000.0);
+    const auto ins = grid.Insert(p);
+    counter.OnInsert(ins.id, ins.cell);
+  }
+  for (auto _ : state) {
+    Point q;
+    for (int k = 0; k < 3; ++k) q[k] = rng.NextDouble(0, 3000.0);
+    benchmark::DoNotOptimize(counter.Count(q, params.min_pts));
+  }
+}
+BENCHMARK(BM_Counter_Count)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace ddc
+
+BENCHMARK_MAIN();

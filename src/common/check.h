@@ -1,0 +1,35 @@
+#ifndef DDC_COMMON_CHECK_H_
+#define DDC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Lightweight invariant-checking macros.
+///
+/// The library does not throw exceptions across API boundaries (Google style);
+/// internal invariant violations abort with a source location so that fuzz and
+/// property tests fail loudly.
+
+/// Aborts the process when `cond` is false. Enabled in all build types: the
+/// checks guard algorithmic invariants whose cost is negligible next to the
+/// geometry work around them.
+#define DDC_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "DDC_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define DDC_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define DDC_DCHECK(cond) DDC_CHECK(cond)
+#endif
+
+#endif  // DDC_COMMON_CHECK_H_

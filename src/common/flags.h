@@ -1,0 +1,34 @@
+#ifndef DDC_COMMON_FLAGS_H_
+#define DDC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ddc {
+
+/// Minimal `--key=value` command-line parser used by the benchmark harnesses
+/// and examples, so every experiment can be re-run at different scales
+/// without editing code.
+class Flags {
+ public:
+  /// Parses argv; entries must look like `--name=value` or `--name value`.
+  /// Unknown flags are kept and readable; malformed arguments abort.
+  Flags(int argc, char** argv);
+
+  /// Returns the flag value or `def` when the flag is absent.
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  /// True when the flag appeared on the command line.
+  bool Has(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_COMMON_FLAGS_H_

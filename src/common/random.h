@@ -1,0 +1,41 @@
+#ifndef DDC_COMMON_RANDOM_H_
+#define DDC_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace ddc {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**, seeded through
+/// splitmix64). All randomized components of the library (workload
+/// generation, treap priorities, sampling) draw from this generator so that
+/// experiments are reproducible from a single seed.
+class Rng {
+ public:
+  /// Creates a generator whose stream is fully determined by `seed`.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Returns the next 64 uniform random bits.
+  uint64_t Next();
+
+  /// Returns an integer uniform in [0, bound). `bound` must be positive.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Returns an integer uniform in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Returns a double uniform in [0, 1).
+  double NextDouble();
+
+  /// Returns a double uniform in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ddc
+
+#endif  // DDC_COMMON_RANDOM_H_

@@ -1,0 +1,20 @@
+#include "connectivity/dynamic_connectivity.h"
+
+#include "common/check.h"
+#include "connectivity/bfs_connectivity.h"
+#include "connectivity/hdt.h"
+
+namespace ddc {
+
+std::unique_ptr<DynamicConnectivity> MakeConnectivity(ConnectivityKind kind) {
+  switch (kind) {
+    case ConnectivityKind::kHdt:
+      return std::make_unique<HdtConnectivity>();
+    case ConnectivityKind::kBfs:
+      return std::make_unique<BfsConnectivity>();
+  }
+  DDC_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace ddc

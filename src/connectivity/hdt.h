@@ -1,0 +1,76 @@
+#ifndef DDC_CONNECTIVITY_HDT_H_
+#define DDC_CONNECTIVITY_HDT_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "connectivity/dynamic_connectivity.h"
+#include "connectivity/euler_tour_tree.h"
+
+namespace ddc {
+
+/// Holm–de Lichtenberg–Thorup fully dynamic connectivity [14]: the CC
+/// structure behind Theorem 4. Poly-logarithmic amortized time per edge
+/// insertion/deletion and per query.
+///
+/// Every edge carries a level; F_i is a spanning forest of the edges with
+/// level >= i, F_0 spans the graph. A deleted tree edge at level ℓ triggers
+/// a replacement search from level ℓ downward; edges examined without
+/// yielding a replacement are pushed one level up (the amortization), with
+/// the invariant that a level-i tree has at most n/2^i vertices — the
+/// smaller side of the cut is always the one whose edges get pushed.
+class HdtConnectivity : public DynamicConnectivity {
+ public:
+  HdtConnectivity();
+
+  void EnsureVertices(int n) override;
+  void AddEdge(int u, int v) override;
+  void RemoveEdge(int u, int v) override;
+  bool Connected(int u, int v) override;
+  uint64_t ComponentId(int v) override;
+  int num_vertices() const override { return n_; }
+
+  /// Total number of edges currently stored (tree + non-tree).
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+
+  /// Highest level currently in use (diagnostics; bounded by log2 n).
+  int max_level() const { return static_cast<int>(forests_.size()) - 1; }
+
+ private:
+  struct EdgeInfo {
+    int level = 0;
+    bool tree = false;
+    /// When tree: arcs[i] is the edge's arc pair in forest i, 0 <= i <= level.
+    std::vector<EulerTourForest::ArcPair> arcs;
+  };
+
+  static uint64_t Key(int u, int v);
+
+  EulerTourForest& Forest(int level);
+
+  /// Adjacency sets of *non-tree* edges at `level`.
+  std::unordered_set<int>& NontreeSet(int level, int v);
+
+  void AddNontree(int level, int u, int v);
+  void RemoveNontree(int level, int u, int v);
+
+  /// Links (u, v) as a tree edge in forests [0, level] and flags it.
+  void LinkTree(int u, int v, int level, EdgeInfo* info);
+
+  /// Replacement search after deleting a tree edge of level `level` whose
+  /// endpoints were u, v (already cut from all forests).
+  void SearchReplacement(int u, int v, int level);
+
+  int n_ = 0;
+  std::vector<std::unique_ptr<EulerTourForest>> forests_;
+  /// nontree_[level][v] — neighbors of v via non-tree edges of that level.
+  std::vector<std::unordered_map<int, std::unordered_set<int>>> nontree_;
+  std::unordered_map<uint64_t, EdgeInfo> edges_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_CONNECTIVITY_HDT_H_

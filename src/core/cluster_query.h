@@ -1,0 +1,40 @@
+#ifndef DDC_CORE_CLUSTER_QUERY_H_
+#define DDC_CORE_CLUSTER_QUERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/clusterer.h"
+#include "geom/point.h"
+#include "grid/grid.h"
+
+namespace ddc {
+
+/// The shared C-group-by query algorithm of Section 4.2. All our clusterers
+/// answer queries identically; they differ only in how the three callbacks
+/// below are backed:
+///
+///   * `is_core(p)`    — the core-status structure;
+///   * `cc_id(cell)`   — CC-Id of a *core cell* in the grid graph;
+///   * `empty(q, cell)`— the ρ-approximate ε-emptiness query against the
+///                       core points of a core cell, returning a proof point
+///                       or kInvalidPoint.
+///
+/// A core query point takes the CC id of its cell; a non-core point is
+/// snapped to every ε-close core cell whose emptiness query returns a proof.
+struct QueryHooks {
+  std::function<bool(PointId)> is_core;
+  std::function<bool(CellId)> is_core_cell;
+  std::function<uint64_t(CellId)> cc_id;
+  std::function<PointId(const Point&, CellId)> empty;
+};
+
+/// Runs the C-group-by query over `q` (ids not alive in `grid` are ignored).
+CGroupByResult RunCGroupByQuery(const Grid& grid,
+                                const std::vector<PointId>& q,
+                                const QueryHooks& hooks);
+
+}  // namespace ddc
+
+#endif  // DDC_CORE_CLUSTER_QUERY_H_

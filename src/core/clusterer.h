@@ -1,0 +1,68 @@
+#ifndef DDC_CORE_CLUSTERER_H_
+#define DDC_CORE_CLUSTERER_H_
+
+#include <vector>
+
+#include "core/params.h"
+#include "geom/point.h"
+
+namespace ddc {
+
+/// Result of a cluster-group-by (C-group-by) query (Section 3 of the paper):
+/// the query points broken into the clusters of the current dataset. Because
+/// DBSCAN clusters need not be disjoint, a non-core query point may appear in
+/// several groups; a query point in no cluster is reported as noise.
+struct CGroupByResult {
+  /// One entry per cluster that intersects Q: the ids of the query points in
+  /// that cluster. Groups and their members are in no particular order.
+  std::vector<std::vector<PointId>> groups;
+
+  /// Query points that belong to no cluster.
+  std::vector<PointId> noise;
+
+  /// Canonical form: members sorted within groups, groups sorted
+  /// lexicographically, noise sorted. Useful for comparisons in tests.
+  void Canonicalize();
+
+  /// True when two canonicalized results are identical.
+  friend bool operator==(const CGroupByResult& a, const CGroupByResult& b) {
+    return a.groups == b.groups && a.noise == b.noise;
+  }
+};
+
+/// Common interface of the dynamic clustering algorithms in this library:
+/// the paper's semi-dynamic ρ-approximate algorithm (Theorem 1), the
+/// fully-dynamic ρ-double-approximate algorithm (Theorem 4), and the
+/// IncDBSCAN baseline [8]. Exact DBSCAN is the special case rho == 0.
+class Clusterer {
+ public:
+  virtual ~Clusterer() = default;
+
+  /// Adds a point; returns its id (stable until deletion).
+  virtual PointId Insert(const Point& p) = 0;
+
+  /// Removes a previously inserted point. Aborts on clusterers that are
+  /// semi-dynamic (insertion-only).
+  virtual void Delete(PointId id) = 0;
+
+  /// Answers a C-group-by query over the alive points in `q`.
+  /// Non-const: lookups may restructure internal search structures
+  /// (path compression, splaying), never the clustering itself.
+  virtual CGroupByResult Query(const std::vector<PointId>& q) = 0;
+
+  /// Convenience: C-group-by with Q = all alive points, i.e., the full
+  /// clustering C(P).
+  CGroupByResult QueryAll();
+
+  /// All alive point ids.
+  virtual std::vector<PointId> AlivePoints() const = 0;
+
+  virtual const DbscanParams& params() const = 0;
+
+  /// Number of alive points.
+  virtual int64_t size() const = 0;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_CORE_CLUSTERER_H_

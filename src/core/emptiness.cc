@@ -1,0 +1,175 @@
+#include "core/emptiness.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "grid/cell_key.h"
+#include "spatial/kd_tree.h"
+
+namespace ddc {
+namespace {
+
+/// Flat vector of members with an id->position map for O(1) swap-removal.
+class BruteForceEmptiness final : public EmptinessStructure {
+ public:
+  BruteForceEmptiness(const Grid* grid, const DbscanParams& params)
+      : grid_(grid),
+        dim_(params.dim),
+        outer_sq_(params.eps_outer() * params.eps_outer()) {}
+
+  void Insert(PointId p) override {
+    DDC_DCHECK(pos_.count(p) == 0);
+    pos_[p] = static_cast<int>(members_.size());
+    members_.push_back(p);
+  }
+
+  void Remove(PointId p) override {
+    const auto it = pos_.find(p);
+    DDC_CHECK(it != pos_.end());
+    const int i = it->second;
+    const PointId last = members_.back();
+    members_[i] = last;
+    pos_[last] = i;
+    members_.pop_back();
+    pos_.erase(it);
+  }
+
+  int size() const override { return static_cast<int>(members_.size()); }
+
+  PointId Query(const Point& q) const override {
+    for (const PointId p : members_) {
+      if (SquaredDistance(q, grid_->point(p), dim_) <= outer_sq_) return p;
+    }
+    return kInvalidPoint;
+  }
+
+  void ForEach(const std::function<void(PointId)>& fn) const override {
+    for (const PointId p : members_) fn(p);
+  }
+
+ private:
+  const Grid* grid_;
+  int dim_;
+  double outer_sq_;
+  std::vector<PointId> members_;
+  std::unordered_map<PointId, int> pos_;
+};
+
+/// Members bucketed on a sub-grid of side ρε/(2√d). A bucket has diameter at
+/// most ρε/2, so testing one representative against radius ε(1+ρ/2) is a
+/// conforming approximate emptiness query (see header).
+class SubGridEmptiness final : public EmptinessStructure {
+ public:
+  SubGridEmptiness(const Grid* grid, const DbscanParams& params)
+      : grid_(grid),
+        dim_(params.dim),
+        sub_side_(params.rho * params.eps /
+                  (2.0 * std::sqrt(static_cast<double>(params.dim)))),
+        test_radius_sq_(params.eps * (1 + params.rho / 2) * params.eps *
+                        (1 + params.rho / 2)) {
+    DDC_CHECK(params.rho > 0);
+  }
+
+  void Insert(PointId p) override {
+    buckets_[SubKey(p)].push_back(p);
+    ++size_;
+  }
+
+  void Remove(PointId p) override {
+    const CellKey key = SubKey(p);
+    const auto it = buckets_.find(key);
+    DDC_CHECK(it != buckets_.end());
+    auto& v = it->second;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (v[i] == p) {
+        v[i] = v.back();
+        v.pop_back();
+        if (v.empty()) buckets_.erase(it);
+        --size_;
+        return;
+      }
+    }
+    DDC_CHECK(false);  // Member not found.
+  }
+
+  int size() const override { return size_; }
+
+  PointId Query(const Point& q) const override {
+    for (const auto& [key, members] : buckets_) {
+      DDC_DCHECK(!members.empty());
+      if (SquaredDistance(q, grid_->point(members[0]), dim_) <=
+          test_radius_sq_) {
+        return members[0];
+      }
+    }
+    return kInvalidPoint;
+  }
+
+  void ForEach(const std::function<void(PointId)>& fn) const override {
+    for (const auto& [key, members] : buckets_) {
+      for (const PointId p : members) fn(p);
+    }
+  }
+
+ private:
+  CellKey SubKey(PointId p) const {
+    return CellKey::Of(grid_->point(p), dim_, sub_side_);
+  }
+
+  const Grid* grid_;
+  int dim_;
+  double sub_side_;
+  double test_radius_sq_;
+  std::unordered_map<CellKey, std::vector<PointId>, CellKeyHash> buckets_;
+  int size_ = 0;
+};
+
+/// Emptiness through the dynamic kd-tree: FindWithin at radius (1+ρ)ε is a
+/// conforming query (any hit is a valid proof; a miss certifies no member
+/// within (1+ρ)ε, in particular none within ε).
+class KdTreeEmptiness final : public EmptinessStructure {
+ public:
+  KdTreeEmptiness(const Grid* grid, const DbscanParams& params)
+      : outer_(params.eps_outer()),
+        tree_(grid, &KdTreeEmptiness::Coords, params.dim) {}
+
+  void Insert(PointId p) override { tree_.Insert(p); }
+  void Remove(PointId p) override { tree_.Remove(p); }
+  int size() const override { return tree_.size(); }
+
+  PointId Query(const Point& q) const override {
+    return tree_.FindWithin(q, outer_);
+  }
+
+  void ForEach(const std::function<void(PointId)>& fn) const override {
+    tree_.ForEach(fn);
+  }
+
+ private:
+  static const Point& Coords(const void* ctx, PointId id) {
+    return static_cast<const Grid*>(ctx)->point(id);
+  }
+
+  double outer_;
+  KdTree tree_;
+};
+
+}  // namespace
+
+std::unique_ptr<EmptinessStructure> MakeEmptinessStructure(
+    EmptinessKind kind, const Grid* grid, const DbscanParams& params) {
+  switch (kind) {
+    case EmptinessKind::kSubGrid:
+      if (params.rho > 0) {
+        return std::make_unique<SubGridEmptiness>(grid, params);
+      }
+      break;  // No don't-care band to bucket on: fall back to brute force.
+    case EmptinessKind::kKdTree:
+      return std::make_unique<KdTreeEmptiness>(grid, params);
+    case EmptinessKind::kBruteForce:
+      break;
+  }
+  return std::make_unique<BruteForceEmptiness>(grid, params);
+}
+
+}  // namespace ddc

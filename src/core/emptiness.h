@@ -1,0 +1,72 @@
+#ifndef DDC_CORE_EMPTINESS_H_
+#define DDC_CORE_EMPTINESS_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/params.h"
+#include "geom/point.h"
+#include "grid/grid.h"
+
+namespace ddc {
+
+/// Per-cell structure over the *core points* of one core cell, answering the
+/// ρ-approximate ε-emptiness query of Section 4.2:
+///
+///   empty(q, c) must return a proof point when some core point of c lies
+///   within ε of q, must return "none" when no core point lies within
+///   (1+ρ)ε, and may answer either way in between. A returned proof point is
+///   always within (1+ρ)ε of q.
+///
+/// The paper plugs in Arya et al.'s approximate nearest neighbor structure
+/// (Chan's structure for exact 2D). The don't-care band makes much simpler
+/// structures conforming; this library ships two (see DESIGN.md) and
+/// benchmarks them against each other in bench/ablation_emptiness.
+class EmptinessStructure {
+ public:
+  virtual ~EmptinessStructure() = default;
+
+  /// Adds a core point (must not be present).
+  virtual void Insert(PointId p) = 0;
+
+  /// Removes a core point (must be present).
+  virtual void Remove(PointId p) = 0;
+
+  /// Number of core points in the structure.
+  virtual int size() const = 0;
+
+  /// The emptiness query: a core point within (1+ρ)ε of `q`, or
+  /// kInvalidPoint. Guaranteed non-invalid when some member is within ε.
+  virtual PointId Query(const Point& q) const = 0;
+
+  /// Invokes `fn` on every member (used to seed aBCP witness pairs).
+  virtual void ForEach(const std::function<void(PointId)>& fn) const = 0;
+};
+
+/// Which emptiness implementation a clusterer uses.
+enum class EmptinessKind {
+  /// Flat array scan with early exit at the first point within (1+ρ)ε.
+  /// Conforming because any such point is a legal proof.
+  kBruteForce,
+  /// Members bucketed on a sub-grid of side ρε/(2√d); the query tests one
+  /// representative per occupied bucket against radius ε(1+ρ/2), which
+  /// over-approximates ε by at most half a don't-care band and
+  /// under-approximates (1+ρ)ε, hence conforming. Requires rho > 0; collapses
+  /// co-located points, which pays off at high densities.
+  kSubGrid,
+  /// A dynamic kd-tree with bounding-box pruning at radius (1+ρ)ε — the
+  /// closest structural analogue of the Arya et al. ANN structure the paper
+  /// cites. Exact at rho == 0 (where it is the only sublinear option).
+  kKdTree,
+};
+
+/// Creates an emptiness structure over core points of one cell. `grid` must
+/// outlive the structure and provides point coordinates.
+std::unique_ptr<EmptinessStructure> MakeEmptinessStructure(
+    EmptinessKind kind, const Grid* grid, const DbscanParams& params);
+
+}  // namespace ddc
+
+#endif  // DDC_CORE_EMPTINESS_H_

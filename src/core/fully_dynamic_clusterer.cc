@@ -1,0 +1,171 @@
+#include "core/fully_dynamic_clusterer.h"
+
+#include "common/check.h"
+#include "core/cluster_query.h"
+
+namespace ddc {
+
+FullyDynamicClusterer::FullyDynamicClusterer(const DbscanParams& params,
+                                             const Options& options)
+    : params_(params),
+      options_(options),
+      grid_(params.dim, params.eps),
+      counter_(&grid_, params, options.counter),
+      tracker_(&grid_, &counter_, params),
+      cc_(MakeConnectivity(options.connectivity)) {
+  params_.Validate();
+}
+
+uint64_t FullyDynamicClusterer::PairKey(CellId a, CellId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+CellCoreState& FullyDynamicClusterer::State(CellId c) {
+  DDC_DCHECK(static_cast<size_t>(c) < cells_.size());
+  CellCoreState& s = cells_[c];
+  if (s.core_set == nullptr) {
+    s.core_set = MakeEmptinessStructure(options_.emptiness, &grid_, params_);
+  }
+  return s;
+}
+
+void FullyDynamicClusterer::SetEdge(CellId a, CellId b, bool present) {
+  if (present) {
+    cc_->AddEdge(a, b);
+    ++num_edges_;
+  } else {
+    cc_->RemoveEdge(a, b);
+    --num_edges_;
+  }
+}
+
+PointId FullyDynamicClusterer::Insert(const Point& p) {
+  const Grid::InsertResult ins = grid_.Insert(p);
+  // Cells are only materialized here, so GUM callbacks below never resize
+  // cells_ (references into it stay valid).
+  cells_.resize(grid_.num_cells());
+  cc_->EnsureVertices(grid_.num_cells());
+  counter_.OnInsert(ins.id, ins.cell);
+  tracker_.OnInsert(ins.id, ins.cell,
+                    [this](PointId q, CellId c) { OnCorePromoted(q, c); });
+  return ins.id;
+}
+
+void FullyDynamicClusterer::Delete(PointId id) {
+  DDC_CHECK(grid_.alive(id));
+  const CellId cell = grid_.cell_of(id);
+  // The departing point first loses its own core status (GUM fallout:
+  // aBCP removals, possibly edge removals / cell leaving the grid graph).
+  if (tracker_.is_core(id)) {
+    tracker_.ClearCore(id);
+    OnCoreDemoted(id, cell);
+  }
+  grid_.Delete(id);
+  counter_.OnDelete(id, cell);
+  // Remaining points may demote now that the counts dropped.
+  tracker_.OnDelete(cell,
+                    [this](PointId q, CellId c) { OnCoreDemoted(q, c); });
+}
+
+void FullyDynamicClusterer::CreateInstance(CellId a, CellId b) {
+  const uint64_t key = PairKey(a, b);
+  DDC_DCHECK(instances_.count(key) == 0);
+  auto [it, inserted] = instances_.emplace(key, AbcpInstance(a, b));
+  State(a).instance_peers.push_back(b);
+  State(b).instance_peers.push_back(a);
+  if (it->second.Initialize(grid_, State(a), State(b))) {
+    SetEdge(a, b, true);
+  }
+}
+
+void FullyDynamicClusterer::DestroyInstance(CellId a, CellId b) {
+  const uint64_t key = PairKey(a, b);
+  const auto it = instances_.find(key);
+  DDC_CHECK(it != instances_.end());
+  if (it->second.has_witness()) SetEdge(a, b, false);
+  instances_.erase(it);
+  for (const CellId x : {a, b}) {
+    auto& peers = State(x).instance_peers;
+    const CellId y = (x == a) ? b : a;
+    for (size_t i = 0; i < peers.size(); ++i) {
+      if (peers[i] == y) {
+        peers[i] = peers.back();
+        peers.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void FullyDynamicClusterer::OnCorePromoted(PointId p, CellId cell) {
+  CellCoreState& s = State(cell);
+  const bool was_core_cell = s.is_core_cell();
+  s.members.insert(p);
+  s.core_set->Insert(p);
+  s.log.push_back(p);
+
+  if (!was_core_cell) {
+    // The cell joins the grid graph: start an aBCP instance against every
+    // ε-close core cell (initial witness scans are cheap — this cell holds
+    // at most MinPts core points right now).
+    for (const CellId nb : grid_.cell(cell).neighbors) {
+      if (cells_[nb].is_core_cell()) CreateInstance(cell, nb);
+    }
+    return;
+  }
+  // Feed the arrival to every instance of this cell; edges may appear.
+  for (const CellId nb : s.instance_peers) {
+    AbcpInstance& inst = instances_.at(PairKey(cell, nb));
+    const bool had = inst.has_witness();
+    const bool has =
+        inst.OnCoreInsert(grid_, State(inst.c1()), State(inst.c2()));
+    if (has != had) SetEdge(cell, nb, has);
+  }
+}
+
+void FullyDynamicClusterer::OnCoreDemoted(PointId p, CellId cell) {
+  CellCoreState& s = State(cell);
+  DDC_CHECK(s.members.erase(p) == 1);
+  s.core_set->Remove(p);
+
+  if (!s.is_core_cell()) {
+    // The cell leaves the grid graph: drop all of its instances.
+    const std::vector<CellId> peers = s.instance_peers;
+    for (const CellId nb : peers) DestroyInstance(cell, nb);
+    return;
+  }
+  for (const CellId nb : s.instance_peers) {
+    AbcpInstance& inst = instances_.at(PairKey(cell, nb));
+    const bool had = inst.has_witness();
+    const bool has = inst.OnCoreRemove(grid_, State(inst.c1()),
+                                       State(inst.c2()), cell, p);
+    if (has != had) SetEdge(cell, nb, has);
+  }
+}
+
+CGroupByResult FullyDynamicClusterer::Query(const std::vector<PointId>& q) {
+  QueryHooks hooks;
+  hooks.is_core = [this](PointId p) { return tracker_.is_core(p); };
+  hooks.is_core_cell = [this](CellId c) {
+    return static_cast<size_t>(c) < cells_.size() &&
+           cells_[c].is_core_cell();
+  };
+  hooks.cc_id = [this](CellId c) { return cc_->ComponentId(c); };
+  hooks.empty = [this](const Point& pt, CellId c) {
+    return cells_[c].core_set->Query(pt);
+  };
+  return RunCGroupByQuery(grid_, q, hooks);
+}
+
+std::vector<PointId> FullyDynamicClusterer::AlivePoints() const {
+  std::vector<PointId> ids;
+  ids.reserve(grid_.size());
+  for (PointId i = 0; i < grid_.total_inserted(); ++i) {
+    if (grid_.alive(i)) ids.push_back(i);
+  }
+  return ids;
+}
+
+}  // namespace ddc

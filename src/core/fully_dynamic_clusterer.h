@@ -1,0 +1,90 @@
+#ifndef DDC_CORE_FULLY_DYNAMIC_CLUSTERER_H_
+#define DDC_CORE_FULLY_DYNAMIC_CLUSTERER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "connectivity/dynamic_connectivity.h"
+#include "core/abcp.h"
+#include "core/clusterer.h"
+#include "core/emptiness.h"
+#include "core/params.h"
+#include "core/relaxed_core_tracker.h"
+#include "counting/approx_counter.h"
+#include "grid/grid.h"
+
+namespace ddc {
+
+/// The paper's fully-dynamic algorithm, Theorem 4: ρ-double-approximate
+/// DBSCAN with O~(1) amortized insertions *and* deletions and O~(|Q|)
+/// C-group-by queries, for any fixed dimension. With rho == 0 it maintains
+/// exact DBSCAN (the "2d-Full-Exact" configuration of the experiments).
+///
+/// Composition (Sections 7.2–7.4): the relaxed core predicate is decided by
+/// an approximate range counter; every pair of ε-close core cells runs an
+/// aBCP instance whose witness pair *is* the grid-graph edge; edge
+/// appearances/disappearances feed a fully-dynamic connectivity structure
+/// (Holm–de Lichtenberg–Thorup by default). No BFS over points ever happens
+/// on deletion — the removal of IncDBSCAN's Achilles heel.
+class FullyDynamicClusterer : public Clusterer {
+ public:
+  /// Structure choices, benchmarked against each other in bench/ablation_*.
+  struct Options {
+    EmptinessKind emptiness = EmptinessKind::kBruteForce;
+    ConnectivityKind connectivity = ConnectivityKind::kHdt;
+    CounterKind counter = CounterKind::kExact;
+  };
+
+  explicit FullyDynamicClusterer(const DbscanParams& params,
+                                 const Options& options);
+
+  /// Default options: brute-force emptiness, HDT connectivity, exact
+  /// counting.
+  explicit FullyDynamicClusterer(const DbscanParams& params)
+      : FullyDynamicClusterer(params, Options{}) {}
+
+  PointId Insert(const Point& p) override;
+  void Delete(PointId id) override;
+  CGroupByResult Query(const std::vector<PointId>& q) override;
+
+  std::vector<PointId> AlivePoints() const override;
+  const DbscanParams& params() const override { return params_; }
+  int64_t size() const override { return grid_.size(); }
+
+  /// Introspection (tests, benches).
+  bool is_core(PointId p) const { return tracker_.is_core(p); }
+  int64_t num_graph_edges() const { return num_edges_; }
+  int64_t num_abcp_instances() const {
+    return static_cast<int64_t>(instances_.size());
+  }
+  const Grid& grid() const { return grid_; }
+
+ private:
+  /// GUM (Section 7.4).
+  void OnCorePromoted(PointId p, CellId cell);
+  void OnCoreDemoted(PointId p, CellId cell);
+
+  CellCoreState& State(CellId c);
+
+  void CreateInstance(CellId a, CellId b);
+  void DestroyInstance(CellId a, CellId b);
+
+  void SetEdge(CellId a, CellId b, bool present);
+
+  static uint64_t PairKey(CellId a, CellId b);
+
+  DbscanParams params_;
+  Options options_;
+  Grid grid_;
+  ApproxRangeCounter counter_;
+  RelaxedCoreTracker tracker_;
+  std::unique_ptr<DynamicConnectivity> cc_;
+  std::vector<CellCoreState> cells_;
+  std::unordered_map<uint64_t, AbcpInstance> instances_;
+  int64_t num_edges_ = 0;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_CORE_FULLY_DYNAMIC_CLUSTERER_H_

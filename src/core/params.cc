@@ -1,0 +1,24 @@
+#include "core/params.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "geom/point.h"
+
+namespace ddc {
+
+void DbscanParams::Validate() const {
+  DDC_CHECK(dim >= 1 && dim <= kMaxDim);
+  DDC_CHECK(eps > 0);
+  DDC_CHECK(min_pts >= 1);
+  DDC_CHECK(rho >= 0 && rho < 1);
+}
+
+std::string DbscanParams::ToString() const {
+  std::ostringstream out;
+  out << "{dim=" << dim << " eps=" << eps << " min_pts=" << min_pts
+      << " rho=" << rho << "}";
+  return out.str();
+}
+
+}  // namespace ddc

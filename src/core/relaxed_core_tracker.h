@@ -1,0 +1,60 @@
+#ifndef DDC_CORE_RELAXED_CORE_TRACKER_H_
+#define DDC_CORE_RELAXED_CORE_TRACKER_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/params.h"
+#include "counting/approx_counter.h"
+#include "geom/point.h"
+#include "grid/grid.h"
+
+namespace ddc {
+
+/// The fully-dynamic core-status structure (Section 7.3) for the relaxed,
+/// ρ-double-approximate core predicate of Section 6.2: a point is declared
+/// core iff an approximate range count returns k >= MinPts, where k lies in
+/// [|B(p,ε)|, |B(p,(1+ρ)ε)|]. Points whose true counts fall in the
+/// don't-care band may be declared either way; the declared statuses define
+/// one consistent legal clustering.
+///
+/// Status can change only for points in sparse cells: a dense cell pins all
+/// of its residents to "definitely core" (any two same-cell points are
+/// within ε). Each update therefore re-examines the O(1) ε-close sparse
+/// cells (each holding < MinPts points) plus the own cell when it is not
+/// dense — O~(1) work per update with an O~(1) counter.
+class RelaxedCoreTracker {
+ public:
+  RelaxedCoreTracker(const Grid* grid, const ApproxRangeCounter* counter,
+                     const DbscanParams& params);
+
+  /// Processes the insertion of `pid` into `cell` (grid and counter already
+  /// updated). Emits `on_promote(q, cell_of_q)` for every point that turned
+  /// core, possibly including `pid`.
+  void OnInsert(PointId pid, CellId cell,
+                const std::function<void(PointId, CellId)>& on_promote);
+
+  /// Processes a deletion out of `cell` (grid and counter already updated;
+  /// the deleted point's own demotion, if it was core, must be handled by
+  /// the caller beforehand). Emits `on_demote(q, cell_of_q)` for every
+  /// remaining point that lost core status.
+  void OnDelete(CellId cell,
+                const std::function<void(PointId, CellId)>& on_demote);
+
+  bool is_core(PointId pid) const { return is_core_[pid]; }
+
+  /// Clears the flag of a point being deleted (caller handles GUM fallout).
+  void ClearCore(PointId pid) { is_core_[pid] = false; }
+
+ private:
+  bool QueryCore(PointId pid) const;
+
+  const Grid* grid_;
+  const ApproxRangeCounter* counter_;
+  DbscanParams params_;
+  std::vector<bool> is_core_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_CORE_RELAXED_CORE_TRACKER_H_

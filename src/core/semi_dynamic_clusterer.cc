@@ -1,0 +1,84 @@
+#include "core/semi_dynamic_clusterer.h"
+
+#include "common/check.h"
+#include "core/cluster_query.h"
+
+namespace ddc {
+
+SemiDynamicClusterer::SemiDynamicClusterer(const DbscanParams& params,
+                                           EmptinessKind emptiness)
+    : params_(params),
+      emptiness_kind_(emptiness),
+      grid_(params.dim, params.eps),
+      tracker_(&grid_, params) {
+  params_.Validate();
+}
+
+uint64_t SemiDynamicClusterer::EdgeKey(CellId a, CellId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+EmptinessStructure* SemiDynamicClusterer::CoreSet(CellId c) {
+  if (static_cast<size_t>(c) >= cell_core_.size()) {
+    cell_core_.resize(grid_.num_cells());
+  }
+  if (cell_core_[c] == nullptr) {
+    cell_core_[c] = MakeEmptinessStructure(emptiness_kind_, &grid_, params_);
+  }
+  return cell_core_[c].get();
+}
+
+PointId SemiDynamicClusterer::Insert(const Point& p) {
+  const Grid::InsertResult ins = grid_.Insert(p);
+  uf_.EnsureSize(grid_.num_cells());
+  tracker_.OnInsert(ins.id, ins.cell,
+                    [this](PointId q, CellId c) { OnNewCore(q, c); });
+  return ins.id;
+}
+
+void SemiDynamicClusterer::Delete(PointId /*id*/) {
+  DDC_CHECK(false && "SemiDynamicClusterer supports insertions only");
+}
+
+void SemiDynamicClusterer::OnNewCore(PointId p, CellId cell) {
+  CoreSet(cell)->Insert(p);
+  const Point& pt = grid_.point(p);
+  // GUM: try to materialize an edge to every ε-close core cell that has no
+  // edge to `cell` yet. One emptiness query per missing edge (Section 5).
+  for (const CellId nb : grid_.cell(cell).neighbors) {
+    if (static_cast<size_t>(nb) >= cell_core_.size() ||
+        cell_core_[nb] == nullptr || cell_core_[nb]->size() == 0) {
+      continue;  // Not a core cell.
+    }
+    const uint64_t key = EdgeKey(cell, nb);
+    if (edges_.count(key) > 0) continue;
+    if (cell_core_[nb]->Query(pt) != kInvalidPoint) {
+      edges_.insert(key);
+      uf_.Union(cell, nb);
+    }
+  }
+}
+
+CGroupByResult SemiDynamicClusterer::Query(const std::vector<PointId>& q) {
+  QueryHooks hooks;
+  hooks.is_core = [this](PointId p) { return tracker_.is_core(p); };
+  hooks.is_core_cell = [this](CellId c) {
+    return static_cast<size_t>(c) < cell_core_.size() &&
+           cell_core_[c] != nullptr && cell_core_[c]->size() > 0;
+  };
+  hooks.cc_id = [this](CellId c) { return static_cast<uint64_t>(uf_.Find(c)); };
+  hooks.empty = [this](const Point& pt, CellId c) {
+    return cell_core_[c]->Query(pt);
+  };
+  return RunCGroupByQuery(grid_, q, hooks);
+}
+
+std::vector<PointId> SemiDynamicClusterer::AlivePoints() const {
+  std::vector<PointId> ids(grid_.total_inserted());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<PointId>(i);
+  return ids;
+}
+
+}  // namespace ddc

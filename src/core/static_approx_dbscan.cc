@@ -1,0 +1,100 @@
+#include "core/static_approx_dbscan.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "grid/grid.h"
+#include "unionfind/union_find.h"
+
+namespace ddc {
+
+CGroupByResult StaticApproxDbscan(const std::vector<Point>& points,
+                                  const DbscanParams& params) {
+  params.Validate();
+  const int n = static_cast<int>(points.size());
+  const int dim = params.dim;
+  const double eps_sq = params.eps * params.eps;
+  const double outer_sq = params.eps_outer() * params.eps_outer();
+
+  CGroupByResult result;
+  if (n == 0) return result;
+
+  Grid grid(dim, params.eps);
+  for (const Point& p : points) grid.Insert(p);
+
+  // Step 0 — exact core points (the 2015 algorithm approximates edges, not
+  // the core predicate), with early exit at MinPts.
+  std::vector<bool> is_core(n, false);
+  for (PointId i = 0; i < n; ++i) {
+    int count = 0;
+    grid.ForEachPointInRange(points[i], params.eps, [&](PointId) { ++count; });
+    is_core[i] = count >= params.min_pts;
+  }
+
+  // Step 1 — grid-graph CCs over core cells. An edge must exist when some
+  // core pair is within ε; the first core pair found within (1+ρ)ε settles
+  // the cell pair either way (don't-care band), which is what makes the
+  // pass near-linear in practice.
+  std::vector<std::vector<PointId>> cell_cores(grid.num_cells());
+  for (PointId i = 0; i < n; ++i) {
+    if (is_core[i]) cell_cores[grid.cell_of(i)].push_back(i);
+  }
+  UnionFind uf(grid.num_cells());
+  for (CellId c = 0; c < grid.num_cells(); ++c) {
+    if (cell_cores[c].empty()) continue;
+    for (const CellId nb : grid.cell(c).neighbors) {
+      if (nb < c || cell_cores[nb].empty()) continue;  // Each pair once.
+      if (uf.Connected(c, nb)) continue;
+      bool linked = false;
+      for (const PointId a : cell_cores[c]) {
+        for (const PointId b : cell_cores[nb]) {
+          if (SquaredDistance(points[a], points[b], dim) <= outer_sq) {
+            uf.Union(c, nb);
+            linked = true;
+            break;
+          }
+        }
+        if (linked) break;
+      }
+    }
+  }
+
+  // Step 2 — assignment. Core points take their cell's CC; a non-core point
+  // joins the CC of any ε-close core cell holding a core point within
+  // (1+ρ)ε of it (a conforming resolution of the assignment don't-cares).
+  std::unordered_map<int, std::vector<PointId>> groups;  // CC root -> pts.
+  for (PointId i = 0; i < n; ++i) {
+    if (is_core[i]) {
+      groups[uf.Find(grid.cell_of(i))].push_back(i);
+      continue;
+    }
+    std::unordered_set<int> mine;
+    auto consider = [&](CellId c) {
+      if (cell_cores[c].empty() || mine.count(uf.Find(c)) > 0) return;
+      for (const PointId b : cell_cores[c]) {
+        if (SquaredDistance(points[i], points[b], dim) <= eps_sq) {
+          mine.insert(uf.Find(c));
+          return;
+        }
+      }
+    };
+    const CellId own = grid.cell_of(i);
+    consider(own);
+    for (const CellId nb : grid.cell(own).neighbors) consider(nb);
+    if (mine.empty()) {
+      result.noise.push_back(i);
+    } else {
+      for (const int root : mine) groups[root].push_back(i);
+    }
+  }
+
+  result.groups.reserve(groups.size());
+  for (auto& [root, members] : groups) {
+    result.groups.push_back(std::move(members));
+  }
+  result.Canonicalize();
+  return result;
+}
+
+}  // namespace ddc

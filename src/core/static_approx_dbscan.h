@@ -1,0 +1,28 @@
+#ifndef DDC_CORE_STATIC_APPROX_DBSCAN_H_
+#define DDC_CORE_STATIC_APPROX_DBSCAN_H_
+
+#include <vector>
+
+#include "core/clusterer.h"
+#include "core/params.h"
+#include "geom/point.h"
+
+namespace ddc {
+
+/// Static ρ-approximate DBSCAN — the linear-expected-time algorithm of Gan
+/// and Tao (SIGMOD 2015) that the paper builds on (reviewed in its Section
+/// 2): exact core points, grid-graph connected components with don't-care
+/// edges in the (ε, (1+ρ)ε] band, and approximate non-core assignment.
+///
+/// Included for completeness of the paper's algorithmic universe and as a
+/// second, independently-coded reference for the dynamic algorithms: on any
+/// input its result must satisfy the same sandwich guarantee, and at rho ==
+/// 0 it degenerates to exact DBSCAN (Section 2, Remark).
+///
+/// Returns canonicalized groups over input positions (ids = 0..n-1).
+CGroupByResult StaticApproxDbscan(const std::vector<Point>& points,
+                                  const DbscanParams& params);
+
+}  // namespace ddc
+
+#endif  // DDC_CORE_STATIC_APPROX_DBSCAN_H_

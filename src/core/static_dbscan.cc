@@ -1,0 +1,146 @@
+#include "core/static_dbscan.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "grid/grid.h"
+#include "unionfind/union_find.h"
+
+namespace ddc {
+
+CGroupByResult StaticClustering::ToGroups(const std::vector<PointId>& ids) const {
+  DDC_CHECK(ids.size() == cluster_ids.size());
+  CGroupByResult result;
+  result.groups.resize(num_clusters);
+  for (size_t i = 0; i < cluster_ids.size(); ++i) {
+    if (cluster_ids[i].empty()) {
+      result.noise.push_back(ids[i]);
+    } else {
+      for (const int cid : cluster_ids[i]) result.groups[cid].push_back(ids[i]);
+    }
+  }
+  // Clusters that intersect Q=P are all of them, but guard against empties.
+  std::erase_if(result.groups, [](const auto& g) { return g.empty(); });
+  result.Canonicalize();
+  return result;
+}
+
+CGroupByResult StaticClustering::ToGroups() const {
+  std::vector<PointId> ids(cluster_ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<PointId>(i);
+  return ToGroups(ids);
+}
+
+StaticClustering StaticDbscan(const std::vector<Point>& points,
+                              const DbscanParams& params) {
+  params.Validate();
+  const int n = static_cast<int>(points.size());
+  const int dim = params.dim;
+  const double eps = params.eps;
+
+  StaticClustering out;
+  out.is_core.assign(n, false);
+  out.cluster_ids.assign(n, {});
+  if (n == 0) return out;
+
+  Grid grid(dim, eps);
+  for (const Point& p : points) grid.Insert(p);
+
+  // Step 0: core points, straight from the definition.
+  for (PointId i = 0; i < n; ++i) {
+    int count = 0;
+    grid.ForEachPointInRange(points[i], eps, [&](PointId) { ++count; });
+    out.is_core[i] = count >= params.min_pts;
+  }
+
+  // Step 1: preliminary clusters = connected components of the core graph.
+  UnionFind uf(n);
+  for (PointId i = 0; i < n; ++i) {
+    if (!out.is_core[i]) continue;
+    grid.ForEachPointInRange(points[i], eps, [&](PointId j) {
+      if (j > i && out.is_core[j]) uf.Union(i, j);
+    });
+  }
+
+  // Densify component ids over core points.
+  std::unordered_map<int, int> dense;
+  for (PointId i = 0; i < n; ++i) {
+    if (!out.is_core[i]) continue;
+    const int root = uf.Find(i);
+    const auto [it, inserted] = dense.emplace(root, out.num_clusters);
+    if (inserted) ++out.num_clusters;
+    out.cluster_ids[i].push_back(it->second);
+  }
+
+  // Step 2: non-core assignment — every preliminary cluster with a core
+  // point inside B(p, eps) adopts p.
+  for (PointId i = 0; i < n; ++i) {
+    if (out.is_core[i]) continue;
+    std::unordered_set<int> mine;
+    grid.ForEachPointInRange(points[i], eps, [&](PointId j) {
+      if (out.is_core[j]) mine.insert(dense.at(uf.Find(j)));
+    });
+    out.cluster_ids[i].assign(mine.begin(), mine.end());
+    std::sort(out.cluster_ids[i].begin(), out.cluster_ids[i].end());
+  }
+  return out;
+}
+
+namespace {
+
+/// point -> indices of groups containing it.
+std::unordered_map<PointId, std::vector<int>> MembershipIndex(
+    const CGroupByResult& r) {
+  std::unordered_map<PointId, std::vector<int>> index;
+  for (int g = 0; g < static_cast<int>(r.groups.size()); ++g) {
+    for (const PointId p : r.groups[g]) index[p].push_back(g);
+  }
+  return index;
+}
+
+/// True when every group of `inner` is a subset of some group of `outer`.
+bool EachContained(const CGroupByResult& inner, const CGroupByResult& outer,
+                   const char* label, std::string* why) {
+  const auto outer_index = MembershipIndex(outer);
+  std::vector<std::unordered_set<PointId>> outer_sets;
+  outer_sets.reserve(outer.groups.size());
+  for (const auto& g : outer.groups)
+    outer_sets.emplace_back(g.begin(), g.end());
+
+  for (const auto& g : inner.groups) {
+    DDC_CHECK(!g.empty());
+    const auto it = outer_index.find(g[0]);
+    bool ok = false;
+    if (it != outer_index.end()) {
+      for (const int candidate : it->second) {
+        const auto& set = outer_sets[candidate];
+        ok = std::all_of(g.begin(), g.end(),
+                         [&](PointId p) { return set.count(p) > 0; });
+        if (ok) break;
+      }
+    }
+    if (!ok) {
+      if (why != nullptr) {
+        std::ostringstream out;
+        out << label << ": a group of size " << g.size() << " starting at point "
+            << g[0] << " is not contained in any outer group";
+        *why = out.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool CheckSandwich(const CGroupByResult& lower, const CGroupByResult& reported,
+                   const CGroupByResult& upper, std::string* why) {
+  return EachContained(lower, reported, "lower ⊆ reported", why) &&
+         EachContained(reported, upper, "reported ⊆ upper", why);
+}
+
+}  // namespace ddc

@@ -1,0 +1,51 @@
+#ifndef DDC_CORE_STATIC_DBSCAN_H_
+#define DDC_CORE_STATIC_DBSCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/clusterer.h"
+#include "core/params.h"
+#include "geom/point.h"
+
+namespace ddc {
+
+/// A full static clustering: the reference output of exact DBSCAN [9].
+struct StaticClustering {
+  /// is_core[i] — whether input point i is a core point.
+  std::vector<bool> is_core;
+
+  /// cluster_ids[i] — distinct cluster ids point i belongs to (exactly one
+  /// for core points; zero or more for non-core points; empty means noise).
+  /// Ids are dense in [0, num_clusters).
+  std::vector<std::vector<int>> cluster_ids;
+
+  int num_clusters = 0;
+
+  /// The clustering as groups of ids, mapping input position i to ids[i]
+  /// (pass the identity to keep positions). Canonicalized.
+  CGroupByResult ToGroups(const std::vector<PointId>& ids) const;
+
+  /// ToGroups with the identity mapping 0..n-1.
+  CGroupByResult ToGroups() const;
+};
+
+/// Runs exact DBSCAN on `points` with (params.eps, params.min_pts); rho is
+/// ignored. Grid-accelerated but otherwise direct from the definition, so it
+/// serves as the ground-truth oracle for every dynamic algorithm in this
+/// repository (with ρ = 0 the dynamic algorithms must match it exactly).
+StaticClustering StaticDbscan(const std::vector<Point>& points,
+                              const DbscanParams& params);
+
+/// Verifies the sandwich guarantee (Theorem 3) over a common id space:
+/// every group of `lower` (clusters of exact DBSCAN at ε) must be contained
+/// in some group of `reported`, and every group of `reported` must be
+/// contained in some group of `upper` (clusters of exact DBSCAN at (1+ρ)ε).
+/// Returns true when both inclusions hold; otherwise fills `*why` (if
+/// non-null) with an explanation.
+bool CheckSandwich(const CGroupByResult& lower, const CGroupByResult& reported,
+                   const CGroupByResult& upper, std::string* why);
+
+}  // namespace ddc
+
+#endif  // DDC_CORE_STATIC_DBSCAN_H_

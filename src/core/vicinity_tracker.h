@@ -1,0 +1,54 @@
+#ifndef DDC_CORE_VICINITY_TRACKER_H_
+#define DDC_CORE_VICINITY_TRACKER_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/params.h"
+#include "geom/point.h"
+#include "grid/grid.h"
+
+namespace ddc {
+
+/// The semi-dynamic core-status structure of Section 5: every non-core point
+/// p carries a vicinity count vincnt(p) = |B(p, ε)|; when it reaches MinPts
+/// the point turns core, permanently (points are never deleted in the
+/// semi-dynamic scheme).
+///
+/// On each insertion the tracker
+///   1. decides the new point's core status — immediately core when its cell
+///      is dense, else by exact counting over the ε-close cells (early exit
+///      at MinPts once all sparse-cell bookkeeping is done), and
+///   2. increments the vicinity counts of non-core points in ε-close sparse
+///      cells (non-core points can only live in sparse cells, because a
+///      dense cell's points are all within ε of each other).
+class VicinityTracker {
+ public:
+  /// `grid` must outlive the tracker and already reflect each insertion when
+  /// OnInsert is called.
+  VicinityTracker(const Grid* grid, const DbscanParams& params);
+
+  /// Processes the insertion of `pid` into `cell` (grid already updated).
+  /// Calls `on_core(q, cell_of_q)` for every point that turned core as a
+  /// result — possibly `pid` itself and/or promoted neighbors. Promotions
+  /// are emitted after all counts are settled.
+  void OnInsert(PointId pid, CellId cell,
+                const std::function<void(PointId, CellId)>& on_core);
+
+  /// Current core status of a point.
+  bool is_core(PointId pid) const { return is_core_[pid]; }
+
+  /// Exact |B(p, ε)| for non-core points (tracked only while non-core).
+  int vicinity_count(PointId pid) const { return vincnt_[pid]; }
+
+ private:
+  const Grid* grid_;
+  DbscanParams params_;
+  double eps_sq_;
+  std::vector<bool> is_core_;
+  std::vector<int32_t> vincnt_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_CORE_VICINITY_TRACKER_H_

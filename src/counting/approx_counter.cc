@@ -1,0 +1,78 @@
+#include "counting/approx_counter.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ddc {
+
+ApproxRangeCounter::ApproxRangeCounter(const Grid* grid,
+                                       const DbscanParams& params,
+                                       CounterKind kind)
+    : grid_(grid),
+      params_(params),
+      kind_(kind),
+      eps_sq_(params.eps * params.eps) {
+  if (kind_ == CounterKind::kSubGrid && params_.rho > 0) {
+    sub_side_ = params_.rho * params_.eps /
+                (2.0 * std::sqrt(static_cast<double>(params_.dim)));
+    const double t = params_.eps * (1 + params_.rho / 2);
+    test_radius_sq_ = t * t;
+  } else {
+    // Exact semantics (rho == 0 has no don't-care band to exploit).
+    kind_ = CounterKind::kExact;
+  }
+}
+
+CellKey ApproxRangeCounter::SubKey(const Point& p) const {
+  return CellKey::Of(p, params_.dim, sub_side_);
+}
+
+void ApproxRangeCounter::OnInsert(PointId p, CellId cell) {
+  if (kind_ != CounterKind::kSubGrid) return;
+  if (static_cast<size_t>(cell) >= buckets_.size()) {
+    buckets_.resize(grid_->num_cells());
+  }
+  ++buckets_[cell].counts[SubKey(grid_->point(p))];
+}
+
+void ApproxRangeCounter::OnDelete(PointId p, CellId cell) {
+  if (kind_ != CounterKind::kSubGrid) return;
+  DDC_CHECK(static_cast<size_t>(cell) < buckets_.size());
+  auto& counts = buckets_[cell].counts;
+  const auto it = counts.find(SubKey(grid_->point(p)));
+  DDC_CHECK(it != counts.end() && it->second > 0);
+  if (--it->second == 0) counts.erase(it);
+}
+
+int ApproxRangeCounter::Count(const Point& q, int cap) const {
+  int count = 0;
+  if (kind_ == CounterKind::kExact) {
+    grid_->ForEachNearbyCell(q, [&](CellId c) {
+      if (count >= cap) return;
+      for (const PointId pid : grid_->cell(c).points) {
+        if (SquaredDistance(q, grid_->point(pid), params_.dim) <= eps_sq_) {
+          if (++count >= cap) return;
+        }
+      }
+    });
+    return count;
+  }
+  // Sub-grid mode: test bucket centers.
+  grid_->ForEachNearbyCell(q, [&](CellId c) {
+    if (count >= cap || static_cast<size_t>(c) >= buckets_.size()) return;
+    for (const auto& [key, n] : buckets_[c].counts) {
+      Point center;
+      for (int i = 0; i < params_.dim; ++i) {
+        center[i] = (key[i] + 0.5) * sub_side_;
+      }
+      if (SquaredDistance(q, center, params_.dim) <= test_radius_sq_) {
+        count += n;
+        if (count >= cap) return;
+      }
+    }
+  });
+  return std::min(count, cap);
+}
+
+}  // namespace ddc

@@ -1,0 +1,40 @@
+#include "geom/box.h"
+
+namespace ddc {
+
+bool Box::Contains(const Point& p, int dim) const {
+  for (int i = 0; i < dim; ++i) {
+    if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+double Box::MinSquaredDistance(const Point& p, int dim) const {
+  double s = 0;
+  for (int i = 0; i < dim; ++i) {
+    double d = 0;
+    if (p[i] < lo_[i]) {
+      d = lo_[i] - p[i];
+    } else if (p[i] > hi_[i]) {
+      d = p[i] - hi_[i];
+    }
+    s += d * d;
+  }
+  return s;
+}
+
+double Box::MinSquaredDistance(const Box& other, int dim) const {
+  double s = 0;
+  for (int i = 0; i < dim; ++i) {
+    double d = 0;
+    if (other.hi()[i] < lo_[i]) {
+      d = lo_[i] - other.hi()[i];
+    } else if (other.lo()[i] > hi_[i]) {
+      d = other.lo()[i] - hi_[i];
+    }
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace ddc

@@ -1,0 +1,35 @@
+#ifndef DDC_GEOM_BOX_H_
+#define DDC_GEOM_BOX_H_
+
+#include "geom/point.h"
+
+namespace ddc {
+
+/// Axis-parallel box [lo, hi] in R^d. Used for cell geometry: minimum
+/// box-to-box and point-to-box distances decide ε-closeness (Section 4.1 of
+/// the paper).
+class Box {
+ public:
+  Box() = default;
+  Box(const Point& lo, const Point& hi) : lo_(lo), hi_(hi) {}
+
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+
+  /// True when `p` lies inside the box (inclusive boundaries).
+  bool Contains(const Point& p, int dim) const;
+
+  /// Squared minimum distance from `p` to the box (0 when inside).
+  double MinSquaredDistance(const Point& p, int dim) const;
+
+  /// Squared minimum distance between this box and `other` (0 on overlap).
+  double MinSquaredDistance(const Box& other, int dim) const;
+
+ private:
+  Point lo_;
+  Point hi_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_GEOM_BOX_H_

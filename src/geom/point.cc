@@ -1,0 +1,36 @@
+#include "geom/point.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ddc {
+
+std::string Point::ToString(int dim) const {
+  std::ostringstream out;
+  out << "(";
+  for (int i = 0; i < dim; ++i) {
+    if (i > 0) out << ", ";
+    out << c_[i];
+  }
+  out << ")";
+  return out.str();
+}
+
+double SquaredDistance(const Point& a, const Point& b, int dim) {
+  double s = 0;
+  for (int i = 0; i < dim; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double Distance(const Point& a, const Point& b, int dim) {
+  return std::sqrt(SquaredDistance(a, b, dim));
+}
+
+bool WithinDistance(const Point& a, const Point& b, int dim, double r) {
+  return SquaredDistance(a, b, dim) <= r * r;
+}
+
+}  // namespace ddc

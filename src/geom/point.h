@@ -1,0 +1,63 @@
+#ifndef DDC_GEOM_POINT_H_
+#define DDC_GEOM_POINT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+
+namespace ddc {
+
+/// Maximum dimensionality supported by the library. The paper targets low
+/// dimensionality (its experiments run d = 2..7); 8 gives headroom while
+/// keeping points in a single cache line pair.
+inline constexpr int kMaxDim = 8;
+
+/// Identifier of a point inside a clusterer instance. Ids are assigned
+/// monotonically by `Insert` and remain valid until the point is deleted.
+using PointId = int32_t;
+
+/// Sentinel for "no point".
+inline constexpr PointId kInvalidPoint = -1;
+
+/// A point in R^d, d <= kMaxDim. The dimensionality is carried by the
+/// surrounding context (DbscanParams::dim); unused coordinates must be zero
+/// so that distance computations may loop over kMaxDim-independent `dim`.
+class Point {
+ public:
+  /// Zero-initialized point.
+  Point() : c_{} {}
+
+  /// Point from the first `dim` values of `coords`.
+  Point(std::initializer_list<double> coords) : c_{} {
+    DDC_CHECK(coords.size() <= kMaxDim);
+    int i = 0;
+    for (double v : coords) c_[i++] = v;
+  }
+
+  double operator[](int i) const { return c_[i]; }
+  double& operator[](int i) { return c_[i]; }
+
+  /// Exact equality on all kMaxDim coordinates.
+  friend bool operator==(const Point& a, const Point& b) { return a.c_ == b.c_; }
+
+  /// Human-readable "(x, y, ...)" rendering of the first `dim` coordinates.
+  std::string ToString(int dim) const;
+
+ private:
+  std::array<double, kMaxDim> c_;
+};
+
+/// Squared Euclidean distance over the first `dim` coordinates.
+double SquaredDistance(const Point& a, const Point& b, int dim);
+
+/// Euclidean distance over the first `dim` coordinates.
+double Distance(const Point& a, const Point& b, int dim);
+
+/// True when dist(a, b) <= r, computed without a square root.
+bool WithinDistance(const Point& a, const Point& b, int dim, double r);
+
+}  // namespace ddc
+
+#endif  // DDC_GEOM_POINT_H_

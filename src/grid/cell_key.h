@@ -1,0 +1,51 @@
+#ifndef DDC_GRID_CELL_KEY_H_
+#define DDC_GRID_CELL_KEY_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "geom/point.h"
+
+namespace ddc {
+
+/// Integer coordinates of a grid cell. The grid (Section 4.1 of the paper)
+/// tiles R^d with axis-parallel cells of side ε/√d, so that any two points in
+/// the same cell are within ε of each other. Cell (k_1, ..., k_d) covers the
+/// half-open box [k_i * side, (k_i + 1) * side) on each dimension.
+class CellKey {
+ public:
+  CellKey() : c_{} {}
+
+  /// Key of the cell covering `p` on a grid with the given side length.
+  static CellKey Of(const Point& p, int dim, double side);
+
+  int32_t operator[](int i) const { return c_[i]; }
+  int32_t& operator[](int i) { return c_[i]; }
+
+  friend bool operator==(const CellKey& a, const CellKey& b) {
+    return a.c_ == b.c_;
+  }
+
+  /// Key translated by `offset` (component-wise, first `dim` coordinates).
+  CellKey Shifted(const std::array<int32_t, kMaxDim>& offset, int dim) const;
+
+  /// 64-bit mixing hash over all coordinates.
+  uint64_t Hash() const;
+
+  std::string ToString(int dim) const;
+
+ private:
+  std::array<int32_t, kMaxDim> c_;
+};
+
+/// Hash functor for unordered containers.
+struct CellKeyHash {
+  size_t operator()(const CellKey& k) const {
+    return static_cast<size_t>(k.Hash());
+  }
+};
+
+}  // namespace ddc
+
+#endif  // DDC_GRID_CELL_KEY_H_

@@ -1,0 +1,107 @@
+#include "grid/grid.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ddc {
+
+Grid::Grid(int dim, double eps)
+    : dim_(dim),
+      eps_(eps),
+      side_(eps / std::sqrt(static_cast<double>(dim))),
+      offsets_(dim, side_, eps) {
+  DDC_CHECK(dim >= 1 && dim <= kMaxDim);
+  DDC_CHECK(eps > 0);
+}
+
+bool Grid::KeysAreEpsClose(const CellKey& a, const CellKey& b) const {
+  // Same gap formula (and fp tolerance) as NeighborOffsets, so the two
+  // discovery strategies in GetOrCreateCell agree exactly.
+  double gap_sq = 0;
+  for (int i = 0; i < dim_; ++i) {
+    const int g = std::abs(a[i] - b[i]) - 1;
+    if (g > 0) gap_sq += static_cast<double>(g) * g * side_ * side_;
+  }
+  return gap_sq <= eps_ * eps_ * (1 + 1e-12);
+}
+
+Grid::InsertResult Grid::Insert(const Point& p) {
+  const PointId id = static_cast<PointId>(records_.size());
+  const CellKey key = CellKey::Of(p, dim_, side_);
+  bool created = false;
+  const CellId c = GetOrCreateCell(key, &created);
+  records_.push_back(PointRecord{p, c, static_cast<int32_t>(cells_[c].points.size())});
+  cells_[c].points.push_back(id);
+  ++alive_;
+  return InsertResult{id, c, created};
+}
+
+CellId Grid::Delete(PointId id) {
+  DDC_CHECK(alive(id));
+  PointRecord& rec = records_[id];
+  const CellId c = rec.cell;
+  Cell& cell = cells_[c];
+  // Swap-remove from the cell's point list.
+  const int32_t pos = rec.index_in_cell;
+  const PointId last = cell.points.back();
+  cell.points[pos] = last;
+  records_[last].index_in_cell = pos;
+  cell.points.pop_back();
+  rec.cell = kInvalidCell;
+  rec.index_in_cell = -1;
+  --alive_;
+  return c;
+}
+
+Box Grid::cell_box(CellId c) const {
+  const CellKey& key = cells_[c].key;
+  Point lo, hi;
+  for (int i = 0; i < dim_; ++i) {
+    lo[i] = key[i] * side_;
+    hi[i] = (key[i] + 1) * side_;
+  }
+  return Box(lo, hi);
+}
+
+CellId Grid::FindCell(const Point& p) const {
+  const auto it = cell_index_.find(CellKey::Of(p, dim_, side_));
+  return it == cell_index_.end() ? kInvalidCell : it->second;
+}
+
+CellId Grid::GetOrCreateCell(const CellKey& key, bool* created) {
+  const auto it = cell_index_.find(key);
+  if (it != cell_index_.end()) {
+    *created = false;
+    return it->second;
+  }
+  const CellId c = static_cast<CellId>(cells_.size());
+  cells_.push_back(Cell{key, {}, {}});
+  cell_index_.emplace(key, c);
+  // Link with every already-materialized ε-close cell; links are symmetric
+  // and permanent (cells are never destroyed). Two discovery strategies with
+  // identical outcomes: probing the translation-independent offset table, or
+  // scanning all existing cells — the offset table grows like (2√d+3)^d
+  // (~260k entries at d=7), so whichever side is smaller wins.
+  Cell& me = cells_[c];
+  if (cells_.size() - 1 < offsets_.offsets().size()) {
+    for (CellId other = 0; other < c; ++other) {
+      if (KeysAreEpsClose(key, cells_[other].key)) {
+        me.neighbors.push_back(other);
+        cells_[other].neighbors.push_back(c);
+      }
+    }
+  } else {
+    for (const auto& off : offsets_.offsets()) {
+      const auto nb = cell_index_.find(key.Shifted(off, dim_));
+      if (nb != cell_index_.end() && nb->second != c) {
+        me.neighbors.push_back(nb->second);
+        cells_[nb->second].neighbors.push_back(c);
+      }
+    }
+  }
+  *created = true;
+  return c;
+}
+
+}  // namespace ddc

@@ -1,0 +1,159 @@
+#ifndef DDC_GRID_GRID_H_
+#define DDC_GRID_GRID_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/point.h"
+#include "grid/cell_key.h"
+#include "grid/neighbor_offsets.h"
+
+namespace ddc {
+
+/// Index of a cell inside a Grid. Cells are created on first use and are
+/// never destroyed (a cell that loses all its points keeps its identity and
+/// its neighbor links), so indices are stable for the grid's lifetime.
+using CellId = int32_t;
+inline constexpr CellId kInvalidCell = -1;
+
+/// One grid cell: its key, the alive points it covers, and the ε-close cells
+/// that have ever been materialized. Neighbor links are symmetric and are
+/// filtered for emptiness by the caller where it matters.
+struct Cell {
+  CellKey key;
+  std::vector<PointId> points;
+  std::vector<CellId> neighbors;
+
+  bool empty() const { return points.empty(); }
+  int size() const { return static_cast<int>(points.size()); }
+};
+
+/// The uniform grid of Section 4.1: cells of side ε/√d over R^d, holding a
+/// dynamic point set. The grid provides
+///   * point storage with stable ids across insertions and deletions,
+///   * cell lookup and lazy cell materialization,
+///   * cached ε-close neighbor links (built once per cell from the
+///     precomputed offset table), and
+///   * ε-range enumeration, the primitive that both our clusterers and the
+///     IncDBSCAN baseline build on.
+class Grid {
+ public:
+  /// A grid for dimension `dim` with closeness threshold `eps`; the cell
+  /// side is eps/√dim as the paper prescribes.
+  Grid(int dim, double eps);
+
+  Grid(const Grid&) = delete;
+  Grid& operator=(const Grid&) = delete;
+
+  /// Outcome of an insertion.
+  struct InsertResult {
+    PointId id;
+    CellId cell;
+    bool cell_created;
+  };
+
+  /// Adds `p`, materializing its cell (and neighbor links) if needed.
+  InsertResult Insert(const Point& p);
+
+  /// Removes point `id`; returns the cell it occupied. The id must be alive.
+  CellId Delete(PointId id);
+
+  int dim() const { return dim_; }
+  double eps() const { return eps_; }
+  double side() const { return side_; }
+
+  /// Number of alive points.
+  int64_t size() const { return alive_; }
+
+  /// Total points ever inserted (== upper bound on PointId).
+  int64_t total_inserted() const { return static_cast<int64_t>(records_.size()); }
+
+  /// Coordinates of point `id` (valid also for recently deleted points).
+  const Point& point(PointId id) const { return records_[id].point; }
+
+  /// True when the point has been inserted and not deleted.
+  bool alive(PointId id) const {
+    return id >= 0 && id < static_cast<PointId>(records_.size()) &&
+           records_[id].cell != kInvalidCell;
+  }
+
+  /// Cell currently holding point `id`; kInvalidCell when deleted.
+  CellId cell_of(PointId id) const { return records_[id].cell; }
+
+  const Cell& cell(CellId c) const { return cells_[c]; }
+
+  /// Number of cells ever materialized.
+  int num_cells() const { return static_cast<int>(cells_.size()); }
+
+  /// Geometric bounds of cell `c`.
+  Box cell_box(CellId c) const;
+
+  /// Cell covering `p` if it has been materialized, else kInvalidCell.
+  CellId FindCell(const Point& p) const;
+
+  /// Invokes `fn(PointId)` for every alive point within distance `r` of `q`.
+  /// Requires r <= eps (the cached neighbor links only cover ε-closeness).
+  template <typename Fn>
+  void ForEachPointInRange(const Point& q, double r, Fn&& fn) const;
+
+  /// Invokes `fn(CellId)` for `q`'s cell (if materialized) and every
+  /// materialized ε-close cell of it. Cells may be empty.
+  template <typename Fn>
+  void ForEachNearbyCell(const Point& q, Fn&& fn) const;
+
+ private:
+  struct PointRecord {
+    Point point;
+    CellId cell = kInvalidCell;
+    int32_t index_in_cell = -1;
+  };
+
+  CellId GetOrCreateCell(const CellKey& key, bool* created);
+
+  /// True when cells with these keys are ε-close (same criterion as the
+  /// offset table).
+  bool KeysAreEpsClose(const CellKey& a, const CellKey& b) const;
+
+  int dim_;
+  double eps_;
+  double side_;
+  NeighborOffsets offsets_;
+  std::vector<PointRecord> records_;
+  std::vector<Cell> cells_;
+  std::unordered_map<CellKey, CellId, CellKeyHash> cell_index_;
+  int64_t alive_ = 0;
+};
+
+template <typename Fn>
+void Grid::ForEachNearbyCell(const Point& q, Fn&& fn) const {
+  const CellKey key = CellKey::Of(q, dim_, side_);
+  const auto it = cell_index_.find(key);
+  if (it != cell_index_.end()) {
+    fn(it->second);
+    for (const CellId nb : cells_[it->second].neighbors) fn(nb);
+    return;
+  }
+  // The query point's own cell was never materialized: fall back to probing
+  // the offset table.
+  for (const auto& off : offsets_.offsets()) {
+    const auto nb = cell_index_.find(key.Shifted(off, dim_));
+    if (nb != cell_index_.end()) fn(nb->second);
+  }
+}
+
+template <typename Fn>
+void Grid::ForEachPointInRange(const Point& q, double r, Fn&& fn) const {
+  DDC_DCHECK(r <= eps_ * (1 + 1e-9));
+  const double r_sq = r * r;
+  ForEachNearbyCell(q, [&](CellId c) {
+    for (const PointId pid : cells_[c].points) {
+      if (SquaredDistance(q, records_[pid].point, dim_) <= r_sq) fn(pid);
+    }
+  });
+}
+
+}  // namespace ddc
+
+#endif  // DDC_GRID_GRID_H_

@@ -1,0 +1,41 @@
+#ifndef DDC_GRID_NEIGHBOR_OFFSETS_H_
+#define DDC_GRID_NEIGHBOR_OFFSETS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace ddc {
+
+/// Precomputed table of the integer offsets of all ε-close cells.
+///
+/// Two cells are ε-close when the minimum distance between their boundaries
+/// is at most ε (Section 4.1). On a uniform grid of side ε/√d this is a
+/// translation-invariant property of the coordinate offset, so the set of
+/// candidate offsets — O((√d)^d) of them, the constant the paper explicitly
+/// accepts for low dimensionality — is enumerated once per (dim, ε) and
+/// reused for every cell.
+class NeighborOffsets {
+ public:
+  /// Builds the table for dimension `dim` and cell side `side`, with
+  /// closeness threshold `eps`. Requires side > 0 and eps > 0.
+  NeighborOffsets(int dim, double side, double eps);
+
+  /// All offsets z (excluding the zero vector) with
+  /// minBoxDist(c, c + z) <= eps.
+  const std::vector<std::array<int32_t, kMaxDim>>& offsets() const {
+    return offsets_;
+  }
+
+  int dim() const { return dim_; }
+
+ private:
+  int dim_;
+  std::vector<std::array<int32_t, kMaxDim>> offsets_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_GRID_NEIGHBOR_OFFSETS_H_

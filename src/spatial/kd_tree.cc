@@ -1,0 +1,221 @@
+#include "spatial/kd_tree.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "geom/box.h"
+
+namespace ddc {
+
+struct KdTree::Node {
+  PointId id;
+  int axis;
+  bool dead = false;
+  int32_t total = 1;  // Subtree node count, tombstones included.
+  int32_t alive = 1;
+  // Bounding box of all subtree points (tombstones included: conservative
+  // but always valid for pruning; rebuilds drop the slack).
+  Point lo, hi;
+  Node* left = nullptr;
+  Node* right = nullptr;
+};
+
+KdTree::KdTree(const void* ctx, CoordFn coords, int dim)
+    : ctx_(ctx), coords_(coords), dim_(dim) {
+  DDC_CHECK(dim >= 1 && dim <= kMaxDim);
+}
+
+KdTree::~KdTree() { FreeTree(root_); }
+
+void KdTree::FreeTree(Node* n) {
+  if (n == nullptr) return;
+  FreeTree(n->left);
+  FreeTree(n->right);
+  delete n;
+}
+
+namespace {
+
+/// Total order on (coordinate, id): duplicates are routed deterministically,
+/// so insert, rebuild and remove always agree on which side a point lives.
+bool GoesLeft(double coord, PointId id, double split_coord, PointId split_id) {
+  return coord < split_coord || (coord == split_coord && id < split_id);
+}
+
+}  // namespace
+
+void KdTree::Insert(PointId id) {
+  const Point& p = At(id);
+  Node** slot = &root_;
+  int axis = 0;
+  while (*slot != nullptr) {
+    Node* n = *slot;
+    ++n->total;
+    ++n->alive;
+    for (int i = 0; i < dim_; ++i) {
+      n->lo[i] = std::min(n->lo[i], p[i]);
+      n->hi[i] = std::max(n->hi[i], p[i]);
+    }
+    slot = GoesLeft(p[n->axis], id, At(n->id)[n->axis], n->id) ? &n->left
+                                                               : &n->right;
+    axis = (n->axis + 1) % dim_;
+  }
+  Node* leaf = new Node;
+  leaf->id = id;
+  leaf->axis = axis;
+  leaf->lo = p;
+  leaf->hi = p;
+  *slot = leaf;
+  ++alive_;
+}
+
+void KdTree::Remove(PointId id) {
+  const Point& p = At(id);
+  std::vector<Node**> path;
+  Node** slot = &root_;
+  Node* target = nullptr;
+  while (*slot != nullptr) {
+    Node* n = *slot;
+    path.push_back(slot);
+    if (n->id == id) {
+      DDC_CHECK(!n->dead);
+      target = n;
+      break;
+    }
+    slot = GoesLeft(p[n->axis], id, At(n->id)[n->axis], n->id) ? &n->left
+                                                               : &n->right;
+  }
+  DDC_CHECK(target != nullptr && "id not present");
+  target->dead = true;
+  for (Node** s : path) --(*s)->alive;
+  --alive_;
+  MaybeRebuild(path);
+}
+
+void KdTree::Collect(Node* n, std::vector<PointId>* out) const {
+  if (n == nullptr) return;
+  Collect(n->left, out);
+  if (!n->dead) out->push_back(n->id);
+  Collect(n->right, out);
+}
+
+KdTree::Node* KdTree::Build(std::vector<PointId>& ids, int lo, int hi,
+                            int axis) {
+  if (lo >= hi) return nullptr;
+  const int mid = (lo + hi) / 2;
+  std::nth_element(ids.begin() + lo, ids.begin() + mid, ids.begin() + hi,
+                   [&](PointId a, PointId b) {
+                     return GoesLeft(At(a)[axis], a, At(b)[axis], b);
+                   });
+  Node* n = new Node;
+  n->id = ids[mid];
+  n->axis = axis;
+  n->lo = At(n->id);
+  n->hi = At(n->id);
+  n->left = Build(ids, lo, mid, (axis + 1) % dim_);
+  n->right = Build(ids, mid + 1, hi, (axis + 1) % dim_);
+  n->total = 1;
+  n->alive = 1;
+  for (Node* c : {n->left, n->right}) {
+    if (c == nullptr) continue;
+    n->total += c->total;
+    n->alive += c->alive;
+    for (int i = 0; i < dim_; ++i) {
+      n->lo[i] = std::min(n->lo[i], c->lo[i]);
+      n->hi[i] = std::max(n->hi[i], c->hi[i]);
+    }
+  }
+  return n;
+}
+
+void KdTree::MaybeRebuild(std::vector<Node**>& path) {
+  // Rebuild the topmost subtree whose tombstones outnumber its alive
+  // points: every node pays O(log) per removal and each rebuild halves the
+  // slack, so the cost amortizes. Ancestors above the rebuilt subtree keep
+  // counting the dropped tombstones unless adjusted.
+  for (size_t k = 0; k < path.size(); ++k) {
+    Node* n = *path[k];
+    if (n->alive * 2 > n->total) continue;
+    std::vector<PointId> ids;
+    ids.reserve(n->alive);
+    Collect(n, &ids);
+    const int axis = n->axis;
+    const int32_t dropped = n->total - static_cast<int32_t>(ids.size());
+    FreeTree(n);
+    *path[k] = Build(ids, 0, static_cast<int>(ids.size()), axis);
+    for (size_t j = 0; j < k; ++j) (*path[j])->total -= dropped;
+    return;
+  }
+}
+
+PointId KdTree::FindWithin(const Point& q, double outer_radius) const {
+  const double r_sq = outer_radius * outer_radius;
+  // Iterative DFS with box pruning; any hit is a valid proof.
+  std::vector<Node*> stack;
+  if (root_ != nullptr) stack.push_back(root_);
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (n->alive == 0) continue;
+    if (Box(n->lo, n->hi).MinSquaredDistance(q, dim_) > r_sq) continue;
+    if (!n->dead && SquaredDistance(q, At(n->id), dim_) <= r_sq) return n->id;
+    if (n->left != nullptr) stack.push_back(n->left);
+    if (n->right != nullptr) stack.push_back(n->right);
+  }
+  return kInvalidPoint;
+}
+
+void KdTree::ForEach(const std::function<void(PointId)>& fn) const {
+  std::vector<PointId> ids;
+  Collect(root_, &ids);
+  for (const PointId id : ids) fn(id);
+}
+
+namespace {
+
+struct CheckStats {
+  int total = 0;
+  int alive = 0;
+};
+
+}  // namespace
+
+void KdTree::CheckInvariants() const {
+  // Recursive structural audit (test helper; not on any hot path).
+  struct Auditor {
+    const KdTree* tree;
+    int dim;
+    CheckStats Audit(Node* n) {
+      CheckStats s;
+      if (n == nullptr) return s;
+      const Point& p = tree->At(n->id);
+      // Box containment: own point and child boxes nest inside this box.
+      for (int i = 0; i < dim; ++i) {
+        DDC_CHECK(p[i] >= n->lo[i] && p[i] <= n->hi[i]);
+        for (Node* c : {n->left, n->right}) {
+          if (c == nullptr) continue;
+          DDC_CHECK(c->lo[i] >= n->lo[i] && c->hi[i] <= n->hi[i]);
+        }
+      }
+      // Split discipline on the routing order.
+      if (n->left != nullptr) {
+        DDC_CHECK(n->left->lo[n->axis] <= p[n->axis]);
+      }
+      if (n->right != nullptr) {
+        DDC_CHECK(n->right->hi[n->axis] >= p[n->axis]);
+      }
+      const CheckStats l = Audit(n->left);
+      const CheckStats r = Audit(n->right);
+      DDC_CHECK(n->total == 1 + l.total + r.total);
+      DDC_CHECK(n->alive == (n->dead ? 0 : 1) + l.alive + r.alive);
+      s.total = n->total;
+      s.alive = n->alive;
+      return s;
+    }
+  };
+  Auditor auditor{this, dim_};
+  const CheckStats s = auditor.Audit(root_);
+  DDC_CHECK(s.alive == alive_);
+}
+
+}  // namespace ddc

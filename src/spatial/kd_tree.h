@@ -1,0 +1,78 @@
+#ifndef DDC_SPATIAL_KD_TREE_H_
+#define DDC_SPATIAL_KD_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace ddc {
+
+/// A dynamic kd-tree over point ids, our stand-in for the approximate
+/// nearest-neighbor structures the paper plugs into the emptiness queries
+/// (Arya et al. [2]; Chan [5] for exact 2D — see DESIGN.md).
+///
+/// Coordinates live outside the tree (in the Grid); the tree stores ids and
+/// resolves positions through an accessor, so points are never copied.
+///
+/// Dynamics: insertions descend cyclically by split dimension; deletions
+/// tombstone the node and a subtree is rebuilt (scapegoat-style) whenever
+/// its dead fraction exceeds 1/2, giving amortized O(log n) updates.
+/// Queries maintain per-node subtree bounding boxes for pruning.
+class KdTree {
+ public:
+  /// `coords(id)` must return a stable reference to the point's
+  /// coordinates; `dim` is the dimensionality used for splits/distances.
+  using CoordFn = const Point& (*)(const void* ctx, PointId id);
+
+  KdTree(const void* ctx, CoordFn coords, int dim);
+  ~KdTree();
+
+  KdTree(const KdTree&) = delete;
+  KdTree& operator=(const KdTree&) = delete;
+
+  /// Adds a point id (must not be present).
+  void Insert(PointId id);
+
+  /// Removes a point id (must be present).
+  void Remove(PointId id);
+
+  /// Number of (alive) points.
+  int size() const { return alive_; }
+
+  /// Some alive point within `outer_radius` of q, or kInvalidPoint;
+  /// guaranteed to find one when some alive point is within `must_radius`
+  /// (must_radius <= outer_radius). Matches the ρ-approximate emptiness
+  /// contract with must_radius = ε and outer_radius = (1+ρ)ε.
+  PointId FindWithin(const Point& q, double outer_radius) const;
+
+  /// Every alive id (rebuild order; for iteration).
+  void ForEach(const std::function<void(PointId)>& fn) const;
+
+  /// Internal consistency check (tests): sizes, boxes, split invariants.
+  void CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  const Point& At(PointId id) const { return coords_(ctx_, id); }
+
+  Node* Build(std::vector<PointId>& ids, int lo, int hi, int axis);
+  void Collect(Node* n, std::vector<PointId>* out) const;
+  void FreeTree(Node* n);
+  /// Rebuilds the highest ancestor on `path` whose dead fraction crossed
+  /// the threshold.
+  void MaybeRebuild(std::vector<Node**>& path);
+
+  const void* ctx_;
+  CoordFn coords_;
+  int dim_;
+  Node* root_ = nullptr;
+  int alive_ = 0;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_SPATIAL_KD_TREE_H_

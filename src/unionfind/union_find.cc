@@ -1,0 +1,38 @@
+#include "unionfind/union_find.h"
+
+#include "common/check.h"
+
+namespace ddc {
+
+void UnionFind::EnsureSize(int n) {
+  while (size() < n) {
+    parent_.push_back(static_cast<int32_t>(parent_.size()));
+    rank_.push_back(0);
+    ++components_;
+  }
+}
+
+int UnionFind::Find(int x) {
+  DDC_DCHECK(x >= 0 && x < size());
+  int root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    const int next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(int a, int b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) return false;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = a;
+  if (rank_[a] == rank_[b]) ++rank_[a];
+  --components_;
+  return true;
+}
+
+}  // namespace ddc

@@ -1,0 +1,44 @@
+#ifndef DDC_UNIONFIND_UNION_FIND_H_
+#define DDC_UNIONFIND_UNION_FIND_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ddc {
+
+/// Disjoint-set forest with union by rank and path compression (Tarjan [23]).
+/// This is the paper's CC structure for the semi-dynamic scheme (Theorem 1):
+/// EdgeInsert becomes Union and CC-Id becomes Find, both in O~(1) amortized.
+/// Elements are dense integer ids and can be added on the fly.
+class UnionFind {
+ public:
+  UnionFind() = default;
+  explicit UnionFind(int n) { EnsureSize(n); }
+
+  /// Grows the universe so ids [0, n) are valid, each new id a singleton.
+  void EnsureSize(int n);
+
+  /// Number of elements in the universe.
+  int size() const { return static_cast<int>(parent_.size()); }
+
+  /// Representative of x's set, with path compression.
+  int Find(int x);
+
+  /// Merges the sets of a and b; returns true when they were distinct.
+  bool Union(int a, int b);
+
+  /// True when a and b share a set.
+  bool Connected(int a, int b) { return Find(a) == Find(b); }
+
+  /// Number of distinct sets among existing elements.
+  int num_components() const { return components_; }
+
+ private:
+  std::vector<int32_t> parent_;
+  std::vector<int8_t> rank_;
+  int components_ = 0;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_UNIONFIND_UNION_FIND_H_

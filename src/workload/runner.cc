@@ -1,0 +1,97 @@
+#include "workload/runner.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace ddc {
+
+RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
+                     const RunOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  RunStats stats;
+  const int64_t total_ops = static_cast<int64_t>(workload.ops.size());
+  const int64_t checkpoint_stride =
+      options.num_checkpoints > 0
+          ? std::max<int64_t>(1, total_ops / options.num_checkpoints)
+          : total_ops + 1;
+
+  // Insertion index -> live PointId.
+  std::vector<PointId> id_of(workload.points.size(), kInvalidPoint);
+  std::vector<PointId> query_ids;
+
+  double total_cost_us = 0;
+  double update_cost_us = 0;
+  double query_cost_us = 0;
+  const Clock::time_point run_start = Clock::now();
+
+  for (const Operation& op : workload.ops) {
+    const Clock::time_point t0 = Clock::now();
+    switch (op.type) {
+      case Operation::Type::kInsert:
+        id_of[op.target] = clusterer.Insert(workload.points[op.target]);
+        break;
+      case Operation::Type::kDelete:
+        DDC_CHECK(id_of[op.target] != kInvalidPoint);
+        clusterer.Delete(id_of[op.target]);
+        id_of[op.target] = kInvalidPoint;
+        break;
+      case Operation::Type::kQuery: {
+        query_ids.clear();
+        for (const int64_t idx : op.query) {
+          if (id_of[idx] != kInvalidPoint) query_ids.push_back(id_of[idx]);
+        }
+        const CGroupByResult r = clusterer.Query(query_ids);
+        // Keep the optimizer honest.
+        DDC_CHECK(r.groups.size() + r.noise.size() + 1 > 0);
+        break;
+      }
+    }
+    const double us =
+        std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+
+    total_cost_us += us;
+    ++stats.ops_executed;
+    if (op.type == Operation::Type::kQuery) {
+      query_cost_us += us;
+      ++stats.queries_executed;
+    } else {
+      update_cost_us += us;
+      ++stats.updates_executed;
+      stats.max_update_cost_us = std::max(stats.max_update_cost_us, us);
+    }
+
+    if (stats.ops_executed % checkpoint_stride == 0 ||
+        stats.ops_executed == total_ops) {
+      stats.checkpoint_ops.push_back(stats.ops_executed);
+      stats.avg_cost_us.push_back(total_cost_us /
+                                  static_cast<double>(stats.ops_executed));
+      stats.max_upd_cost_us.push_back(stats.max_update_cost_us);
+    }
+
+    if (options.time_budget_seconds > 0 &&
+        std::chrono::duration<double>(Clock::now() - run_start).count() >
+            options.time_budget_seconds) {
+      stats.timed_out = true;
+      break;
+    }
+  }
+
+  stats.total_seconds =
+      std::chrono::duration<double>(Clock::now() - run_start).count();
+  if (stats.ops_executed > 0) {
+    stats.avg_workload_cost_us =
+        total_cost_us / static_cast<double>(stats.ops_executed);
+  }
+  if (stats.updates_executed > 0) {
+    stats.avg_update_cost_us =
+        update_cost_us / static_cast<double>(stats.updates_executed);
+  }
+  if (stats.queries_executed > 0) {
+    stats.avg_query_cost_us =
+        query_cost_us / static_cast<double>(stats.queries_executed);
+  }
+  return stats;
+}
+
+}  // namespace ddc

@@ -1,0 +1,51 @@
+#ifndef DDC_WORKLOAD_RUNNER_H_
+#define DDC_WORKLOAD_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/clusterer.h"
+#include "workload/workload.h"
+
+namespace ddc {
+
+/// Metrics of one workload execution, matching Section 8.2's definitions:
+/// avgcost(t) averages over all operations (updates and queries) up to t;
+/// maxupdcost(t) maximizes over updates only.
+struct RunStats {
+  /// Checkpoint positions (operation counts) and the two time series.
+  std::vector<int64_t> checkpoint_ops;
+  std::vector<double> avg_cost_us;
+  std::vector<double> max_upd_cost_us;
+
+  /// Final aggregates: "average workload cost" = avgcost(W).
+  double avg_workload_cost_us = 0;
+  double max_update_cost_us = 0;
+  double avg_update_cost_us = 0;
+  double avg_query_cost_us = 0;
+
+  int64_t ops_executed = 0;
+  int64_t updates_executed = 0;
+  int64_t queries_executed = 0;
+  double total_seconds = 0;
+
+  /// True when the run hit the time budget before finishing (the paper
+  /// terminated IncDBSCAN after 3 hours in 5D/7D; we do the same, scaled).
+  bool timed_out = false;
+};
+
+struct RunOptions {
+  /// Record avgcost/maxupdcost at this many evenly spaced checkpoints.
+  int num_checkpoints = 10;
+  /// Abort the run when it exceeds this budget (<= 0: unlimited).
+  double time_budget_seconds = 0;
+};
+
+/// Replays `workload` against `clusterer`, timing every operation.
+RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
+                     const RunOptions& options);
+
+}  // namespace ddc
+
+#endif  // DDC_WORKLOAD_RUNNER_H_

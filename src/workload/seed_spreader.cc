@@ -1,0 +1,92 @@
+#include "workload/seed_spreader.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ddc {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Standard normal via Box–Muller.
+double Gaussian(Rng& rng) {
+  const double u1 = 1.0 - rng.NextDouble();  // (0, 1]
+  const double u2 = rng.NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+}
+
+/// A uniformly random unit direction.
+Point RandomDirection(int dim, Rng& rng) {
+  Point d;
+  double norm_sq = 0;
+  do {
+    norm_sq = 0;
+    for (int i = 0; i < dim; ++i) {
+      d[i] = Gaussian(rng);
+      norm_sq += d[i] * d[i];
+    }
+  } while (norm_sq < 1e-12);
+  const double inv = 1.0 / std::sqrt(norm_sq);
+  for (int i = 0; i < dim; ++i) d[i] *= inv;
+  return d;
+}
+
+Point RandomLocation(double extent, int dim, Rng& rng) {
+  Point p;
+  for (int i = 0; i < dim; ++i) p[i] = rng.NextDouble(0, extent);
+  return p;
+}
+
+}  // namespace
+
+Point UniformInBall(const Point& center, double radius, int dim, Rng& rng) {
+  const Point dir = RandomDirection(dim, rng);
+  // Radius r with density ∝ r^(dim-1) => r = R * U^(1/dim).
+  const double r =
+      radius * std::pow(rng.NextDouble(), 1.0 / static_cast<double>(dim));
+  Point p = center;
+  for (int i = 0; i < dim; ++i) p[i] += r * dir[i];
+  return p;
+}
+
+std::vector<Point> GenerateSeedSpreader(const SeedSpreaderConfig& config,
+                                        Rng& rng) {
+  DDC_CHECK(config.dim >= 1 && config.dim <= kMaxDim);
+  DDC_CHECK(config.num_points > 0);
+  const int64_t total = config.num_points;
+  const int64_t cluster_points = static_cast<int64_t>(
+      std::llround(static_cast<double>(total) * (1.0 - config.noise_fraction)));
+  const int64_t noise_points = total - cluster_points;
+  const double restart_prob =
+      cluster_points > 0
+          ? config.expected_restarts / static_cast<double>(cluster_points)
+          : 0;
+
+  std::vector<Point> out;
+  out.reserve(total);
+
+  Point station = RandomLocation(config.extent, config.dim, rng);
+  int at_station = 0;
+  for (int64_t tick = 0; tick < cluster_points; ++tick) {
+    out.push_back(UniformInBall(station, config.ball_radius, config.dim, rng));
+    if (++at_station == config.points_per_station) {
+      // Forced move: step away in a random direction.
+      const Point dir = RandomDirection(config.dim, rng);
+      for (int i = 0; i < config.dim; ++i) {
+        station[i] += config.step * dir[i];
+      }
+      at_station = 0;
+    }
+    if (rng.NextBernoulli(restart_prob)) {
+      station = RandomLocation(config.extent, config.dim, rng);
+      at_station = 0;
+    }
+  }
+  for (int64_t i = 0; i < noise_points; ++i) {
+    out.push_back(RandomLocation(config.extent, config.dim, rng));
+  }
+  return out;
+}
+
+}  // namespace ddc

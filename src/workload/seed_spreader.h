@@ -1,0 +1,40 @@
+#ifndef DDC_WORKLOAD_SEED_SPREADER_H_
+#define DDC_WORKLOAD_SEED_SPREADER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "geom/point.h"
+
+namespace ddc {
+
+/// Configuration of the seed-spreader generator of Gan & Tao [10], used by
+/// the paper's experiments (Section 8.1, Step 1). Defaults are the paper's
+/// values: a spreader walks through [0, 100000]^d dropping points uniformly
+/// in a radius-25 ball, steps 50 away after every 100 points, restarts at a
+/// random location with probability 10/(0.9999 I) per tick (≈10 clusters),
+/// and 0.01% uniform noise is appended.
+struct SeedSpreaderConfig {
+  int dim = 3;
+  int64_t num_points = 100000;  // I
+  double extent = 100000.0;
+  double ball_radius = 25.0;
+  double step = 50.0;
+  int points_per_station = 100;
+  double expected_restarts = 10.0;
+  double noise_fraction = 0.0001;
+};
+
+/// Generates the static dataset (cluster points followed by noise points).
+/// Deterministic given `rng`'s state.
+std::vector<Point> GenerateSeedSpreader(const SeedSpreaderConfig& config,
+                                        Rng& rng);
+
+/// A point uniform in the ball B(center, radius) ∩ first `dim` dims
+/// (Gaussian direction, radial CDF inversion). Exposed for tests.
+Point UniformInBall(const Point& center, double radius, int dim, Rng& rng);
+
+}  // namespace ddc
+
+#endif  // DDC_WORKLOAD_SEED_SPREADER_H_

@@ -1,0 +1,113 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ddc {
+namespace {
+
+/// Fisher–Yates shuffle driven by our deterministic Rng.
+template <typename T>
+void Shuffle(std::vector<T>& v, Rng& rng) {
+  for (size_t i = v.size(); i > 1; --i) {
+    std::swap(v[i - 1], v[rng.NextBelow(i)]);
+  }
+}
+
+}  // namespace
+
+Workload BuildWorkload(const WorkloadConfig& config) {
+  DDC_CHECK(config.num_updates > 0);
+  DDC_CHECK(config.insert_fraction > 0 && config.insert_fraction <= 1.0);
+  Rng rng(config.seed);
+
+  Workload w;
+  const int64_t inserts = static_cast<int64_t>(
+      std::llround(static_cast<double>(config.num_updates) *
+                   config.insert_fraction));
+  const int64_t deletes = config.num_updates - inserts;
+  w.num_updates = config.num_updates;
+  w.num_inserts = inserts;
+  w.num_deletes = deletes;
+
+  // Step 1 — insertions: a seed-spreader dataset in random order, so that
+  // clusters form up early in the workload.
+  SeedSpreaderConfig spreader = config.spreader;
+  spreader.num_points = inserts;
+  w.points = GenerateSeedSpreader(spreader, rng);
+  Shuffle(w.points, rng);
+
+  // Step 2 — deletions: interleave delete tokens so that every prefix has
+  // at least as many inserts as deletes ("good" permutation, retried until
+  // it holds), then fill each token with a random currently-alive point.
+  std::vector<int8_t> is_insert(config.num_updates);
+  for (;;) {
+    std::fill(is_insert.begin(), is_insert.begin() + inserts, 1);
+    std::fill(is_insert.begin() + inserts, is_insert.end(), 0);
+    Shuffle(is_insert, rng);
+    int64_t balance = 0;
+    bool good = true;
+    for (const int8_t b : is_insert) {
+      balance += b ? 1 : -1;
+      if (balance < 0) {
+        good = false;
+        break;
+      }
+    }
+    if (good) break;
+  }
+
+  std::vector<int64_t> alive;  // Insertion indices currently alive.
+  alive.reserve(inserts);
+  int64_t next_insert = 0;
+  int64_t updates_seen = 0;
+
+  auto maybe_emit_query = [&]() {
+    if (config.query_every <= 0 || updates_seen == 0 ||
+        updates_seen % config.query_every != 0 || alive.empty()) {
+      return;
+    }
+    Operation op;
+    op.type = Operation::Type::kQuery;
+    const int want = static_cast<int>(
+        rng.NextInRange(config.query_min,
+                        std::min<int64_t>(config.query_max,
+                                          static_cast<int64_t>(alive.size()))));
+    // Sample without replacement via partial Fisher–Yates on a copy-free
+    // index draw (alive is small to moderate; draw-and-swap on a scratch).
+    std::vector<int64_t> scratch(alive);
+    for (int k = 0; k < want; ++k) {
+      const size_t j = k + rng.NextBelow(scratch.size() - k);
+      std::swap(scratch[k], scratch[j]);
+      op.query.push_back(scratch[k]);
+    }
+    w.ops.push_back(std::move(op));
+    ++w.num_queries;
+  };
+
+  for (int64_t i = 0; i < config.num_updates; ++i) {
+    Operation op;
+    if (is_insert[i]) {
+      op.type = Operation::Type::kInsert;
+      op.target = next_insert;
+      alive.push_back(next_insert);
+      ++next_insert;
+    } else {
+      op.type = Operation::Type::kDelete;
+      DDC_CHECK(!alive.empty());
+      const size_t j = rng.NextBelow(alive.size());
+      op.target = alive[j];
+      alive[j] = alive.back();
+      alive.pop_back();
+    }
+    w.ops.push_back(std::move(op));
+    ++updates_seen;
+    maybe_emit_query();
+  }
+  DDC_CHECK(next_insert == inserts);
+  return w;
+}
+
+}  // namespace ddc

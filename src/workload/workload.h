@@ -1,0 +1,62 @@
+#ifndef DDC_WORKLOAD_WORKLOAD_H_
+#define DDC_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "geom/point.h"
+#include "workload/seed_spreader.h"
+
+namespace ddc {
+
+/// One operation of a benchmark workload. Deletions and queries reference
+/// points by their *insertion index* (position in the insertion order); the
+/// runner resolves those to live PointIds.
+struct Operation {
+  enum class Type { kInsert, kDelete, kQuery };
+  Type type;
+  /// kInsert: index into Workload::points of the point to insert (which is
+  /// also the insertion index other operations refer to).
+  /// kDelete: insertion index of the point to delete.
+  int64_t target = -1;
+  /// kQuery: insertion indices forming Q.
+  std::vector<int64_t> query;
+};
+
+/// A generated mixed workload (Section 8.1): a permuted seed-spreader
+/// insertion stream, interleaved deletions ("tokens" filled with random
+/// alive points, under the good-prefix condition), and a C-group-by query
+/// with |Q| ~ U[2,100] after every `query_every` updates.
+struct Workload {
+  std::vector<Point> points;  // In insertion order.
+  std::vector<Operation> ops;
+
+  int64_t num_updates = 0;
+  int64_t num_inserts = 0;
+  int64_t num_deletes = 0;
+  int64_t num_queries = 0;
+};
+
+struct WorkloadConfig {
+  /// Total number of updates N (inserts + deletes).
+  int64_t num_updates = 100000;
+  /// Fraction of updates that are insertions (%ins). 1.0 = semi-dynamic.
+  double insert_fraction = 1.0;
+  /// Issue one C-group-by query after this many updates (0 = no queries).
+  int64_t query_every = 1000;
+  /// Bounds for the uniform |Q| draw.
+  int query_min = 2;
+  int query_max = 100;
+  /// Underlying static dataset generator; its num_points is overridden with
+  /// N * insert_fraction.
+  SeedSpreaderConfig spreader;
+  uint64_t seed = 1;
+};
+
+/// Builds a workload per the paper's three-step recipe.
+Workload BuildWorkload(const WorkloadConfig& config);
+
+}  // namespace ddc
+
+#endif  // DDC_WORKLOAD_WORKLOAD_H_

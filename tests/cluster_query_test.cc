@@ -1,0 +1,109 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cluster_query.h"
+#include "grid/grid.h"
+
+namespace ddc {
+namespace {
+
+// Drives RunCGroupByQuery directly with scripted hooks, independent of any
+// clusterer, to pin down the Section 4.2 semantics.
+class ClusterQueryTest : public ::testing::Test {
+ protected:
+  ClusterQueryTest() : grid_(2, 1.0) {}
+
+  PointId Add(double x, double y) { return grid_.Insert(Point{x, y}).id; }
+
+  Grid grid_;
+};
+
+TEST_F(ClusterQueryTest, CorePointsGroupByComponentId) {
+  const PointId a = Add(0, 0);
+  const PointId b = Add(5, 5);
+  const PointId c = Add(5.1, 5.1);
+
+  QueryHooks hooks;
+  hooks.is_core = [](PointId) { return true; };
+  hooks.is_core_cell = [](CellId) { return true; };
+  // Component = cell of b/c vs cell of a.
+  hooks.cc_id = [&](CellId cell) -> uint64_t {
+    return cell == grid_.cell_of(a) ? 1 : 2;
+  };
+  hooks.empty = [](const Point&, CellId) { return kInvalidPoint; };
+
+  auto r = RunCGroupByQuery(grid_, {a, b, c}, hooks);
+  r.Canonicalize();
+  ASSERT_EQ(r.groups.size(), 2u);
+  EXPECT_EQ(r.groups[0], (std::vector<PointId>{a}));
+  EXPECT_EQ(r.groups[1], (std::vector<PointId>{b, c}));
+  EXPECT_TRUE(r.noise.empty());
+}
+
+TEST_F(ClusterQueryTest, NonCoreSnapsToMultipleClusters) {
+  // A non-core point whose emptiness query succeeds against two ε-close
+  // core cells with different CC ids joins both groups.
+  const PointId left = Add(0.0, 0.0);
+  const PointId right = Add(1.2, 0.0);  // Different cell (side ≈ 0.707).
+  const PointId border = Add(0.6, 0.0);
+
+  const CellId cl = grid_.cell_of(left);
+  const CellId cr = grid_.cell_of(right);
+
+  QueryHooks hooks;
+  hooks.is_core = [&](PointId p) { return p != border; };
+  hooks.is_core_cell = [&](CellId c) { return c == cl || c == cr; };
+  hooks.cc_id = [&](CellId c) -> uint64_t { return c == cl ? 10 : 20; };
+  hooks.empty = [&](const Point&, CellId c) {
+    return c == cl ? left : (c == cr ? right : kInvalidPoint);
+  };
+
+  auto r = RunCGroupByQuery(grid_, {left, right, border}, hooks);
+  r.Canonicalize();
+  ASSERT_EQ(r.groups.size(), 2u);
+  // border appears in both groups.
+  EXPECT_EQ(r.groups[0], (std::vector<PointId>{left, border}));
+  EXPECT_EQ(r.groups[1], (std::vector<PointId>{right, border}));
+}
+
+TEST_F(ClusterQueryTest, NonCoreWithNoProofIsNoise) {
+  const PointId lonely = Add(9, 9);
+  QueryHooks hooks;
+  hooks.is_core = [](PointId) { return false; };
+  hooks.is_core_cell = [](CellId) { return false; };
+  hooks.cc_id = [](CellId) -> uint64_t { return 0; };
+  hooks.empty = [](const Point&, CellId) { return kInvalidPoint; };
+
+  const auto r = RunCGroupByQuery(grid_, {lonely}, hooks);
+  EXPECT_TRUE(r.groups.empty());
+  EXPECT_EQ(r.noise, (std::vector<PointId>{lonely}));
+}
+
+TEST_F(ClusterQueryTest, DeadPointsAreSkipped) {
+  const PointId a = Add(0, 0);
+  const PointId b = Add(0.1, 0);
+  grid_.Delete(b);
+
+  QueryHooks hooks;
+  hooks.is_core = [](PointId) { return true; };
+  hooks.is_core_cell = [](CellId) { return true; };
+  hooks.cc_id = [](CellId) -> uint64_t { return 1; };
+  hooks.empty = [](const Point&, CellId) { return kInvalidPoint; };
+
+  auto r = RunCGroupByQuery(grid_, {a, b}, hooks);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0], (std::vector<PointId>{a}));
+}
+
+TEST(CanonicalizeTest, SortsGroupsAndMembers) {
+  CGroupByResult r;
+  r.groups = {{5, 3}, {2, 9, 1}};
+  r.noise = {7, 0};
+  r.Canonicalize();
+  EXPECT_EQ(r.groups, (std::vector<std::vector<PointId>>{{1, 2, 9}, {3, 5}}));
+  EXPECT_EQ(r.noise, (std::vector<PointId>{0, 7}));
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,144 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/fully_dynamic_clusterer.h"
+#include "core/semi_dynamic_clusterer.h"
+#include "core/static_dbscan.h"
+#include "tests/test_util.h"
+
+namespace ddc {
+namespace {
+
+// Degenerate and adversarial inputs across the clusterers.
+
+TEST(EdgeCaseTest, DuplicatePointsCount) {
+  // min_pts identical points at one location are all core, one cluster.
+  DbscanParams params{.dim = 2, .eps = 1.0, .min_pts = 3, .rho = 0.0};
+  FullyDynamicClusterer c(params);
+  std::vector<PointId> ids;
+  for (int i = 0; i < 3; ++i) ids.push_back(c.Insert(Point{4.2, 4.2}));
+  auto r = c.QueryAll();
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0].size(), 3u);
+  // Deleting one leaves two identical non-core points: noise.
+  c.Delete(ids[0]);
+  r = c.QueryAll();
+  EXPECT_TRUE(r.groups.empty());
+  EXPECT_EQ(r.noise.size(), 2u);
+}
+
+TEST(EdgeCaseTest, MinPtsOneNeverHasNoise) {
+  DbscanParams params{.dim = 3, .eps = 0.5, .min_pts = 1, .rho = 0.0};
+  Rng rng(44);
+  FullyDynamicClusterer c(params);
+  for (const Point& p : UniformPoints(rng, 60, 3, 10.0)) c.Insert(p);
+  const auto r = c.QueryAll();
+  EXPECT_TRUE(r.noise.empty());
+  size_t members = 0;
+  for (const auto& g : r.groups) members += g.size();
+  EXPECT_EQ(members, 60u);
+}
+
+TEST(EdgeCaseTest, NegativeAndLargeCoordinates) {
+  DbscanParams params{.dim = 2, .eps = 1.0, .min_pts = 2, .rho = 0.0};
+  SemiDynamicClusterer c(params);
+  const PointId a = c.Insert(Point{-1e7, -1e7});
+  const PointId b = c.Insert(Point{-1e7 + 0.5, -1e7});
+  const PointId far = c.Insert(Point{1e7, 1e7});
+  auto r = c.Query({a, b, far});
+  r.Canonicalize();
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0], (std::vector<PointId>{a, b}));
+  EXPECT_EQ(r.noise, (std::vector<PointId>{far}));
+}
+
+TEST(EdgeCaseTest, PointsOnCellBoundaries) {
+  // Points exactly on grid lines (side = eps/sqrt(2) ≈ 0.7071) must behave
+  // per the half-open cell convention and still cluster correctly.
+  DbscanParams params{.dim = 2, .eps = 1.0, .min_pts = 2, .rho = 0.0};
+  const double side = 1.0 / std::sqrt(2.0);
+  FullyDynamicClusterer c(params);
+  const PointId a = c.Insert(Point{side, side});          // Cell (1,1) corner.
+  const PointId b = c.Insert(Point{side - 1e-9, side});   // Cell (0,1).
+  const PointId d = c.Insert(Point{side, side - 1e-9});   // Cell (1,0).
+  auto r = c.Query({a, b, d});
+  r.Canonicalize();
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0].size(), 3u);
+}
+
+TEST(EdgeCaseTest, EmptyQueryOnEmptyClusterer) {
+  DbscanParams params{.dim = 2, .eps = 1.0, .min_pts = 2, .rho = 0.1};
+  FullyDynamicClusterer c(params);
+  const auto r = c.Query({});
+  EXPECT_TRUE(r.groups.empty());
+  EXPECT_TRUE(r.noise.empty());
+  EXPECT_TRUE(c.QueryAll().groups.empty());
+}
+
+TEST(EdgeCaseTest, RepeatedInsertDeleteChurnAtOneLocation) {
+  // Pathological churn: the same spot flips between core and non-core,
+  // exercising aBCP instance creation/destruction and log growth.
+  DbscanParams params{.dim = 2, .eps = 1.0, .min_pts = 2, .rho = 0.0};
+  FullyDynamicClusterer c(params);
+  const PointId anchor = c.Insert(Point{0, 0});
+  // A neighbor in the adjacent cell so cross-cell edges churn too.
+  for (int round = 0; round < 200; ++round) {
+    const PointId p = c.Insert(Point{0.8, 0.0});
+    auto r = c.Query({anchor, p});
+    ASSERT_EQ(r.groups.size(), 1u);
+    c.Delete(p);
+    r = c.Query({anchor});
+    ASSERT_TRUE(r.groups.empty());
+  }
+  EXPECT_EQ(c.size(), 1);
+}
+
+TEST(EdgeCaseTest, HighDimensionalSmoke) {
+  // d = kMaxDim end to end against the oracle.
+  DbscanParams params{.dim = 8, .eps = 2.5, .min_pts = 3, .rho = 0.0};
+  Rng rng(88);
+  FullyDynamicClusterer c(params);
+  const auto pts = BlobPoints(rng, 80, 8, 6.0, 3, 1.0, 0.1);
+  std::vector<PointId> ids;
+  for (const auto& p : pts) ids.push_back(c.Insert(p));
+  for (int i = 0; i < 20; ++i) c.Delete(ids[i]);
+
+  std::vector<PointId> alive = c.AlivePoints();
+  std::vector<Point> alive_pts;
+  for (const PointId id : alive) alive_pts.push_back(c.grid().point(id));
+  auto got = c.QueryAll();
+  got.Canonicalize();
+  const auto want = StaticDbscan(alive_pts, params).ToGroups(alive);
+  EXPECT_EQ(got, want);
+}
+
+TEST(EdgeCaseTest, RhoNearOneStillSandwiches) {
+  // Extreme slack rho = 0.9: results may be very coarse but must stay
+  // inside the sandwich.
+  DbscanParams params{.dim = 2, .eps = 0.5, .min_pts = 3, .rho = 0.9};
+  Rng rng(55);
+  FullyDynamicClusterer c(params);
+  const auto pts = BlobPoints(rng, 150, 2, 8.0, 4, 0.7, 0.2);
+  std::vector<PointId> ids;
+  for (const auto& p : pts) ids.push_back(c.Insert(p));
+  for (int i = 0; i < 50; ++i) c.Delete(ids[i]);
+
+  std::vector<PointId> alive = c.AlivePoints();
+  std::vector<Point> alive_pts;
+  for (const PointId id : alive) alive_pts.push_back(c.grid().point(id));
+  auto got = c.QueryAll();
+  got.Canonicalize();
+  const auto lower = StaticDbscan(alive_pts, params).ToGroups(alive);
+  DbscanParams outer = params;
+  outer.eps = params.eps_outer();
+  const auto upper = StaticDbscan(alive_pts, outer).ToGroups(alive);
+  std::string why;
+  EXPECT_TRUE(CheckSandwich(lower, got, upper, &why)) << why;
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,153 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/emptiness.h"
+#include "tests/test_util.h"
+
+namespace ddc {
+namespace {
+
+struct EmptinessCase {
+  EmptinessKind kind;
+  double rho;
+};
+
+class EmptinessContractTest : public ::testing::TestWithParam<EmptinessCase> {};
+
+// The ρ-approximate ε-emptiness contract (Section 4.2): a query must find a
+// proof when some member is within ε, must find none when no member is
+// within (1+ρ)ε, and any returned proof must be within (1+ρ)ε.
+TEST_P(EmptinessContractTest, ContractHolds) {
+  const auto [kind, rho] = GetParam();
+  const int dim = 3;
+  DbscanParams params{.dim = dim, .eps = 1.0, .min_pts = 3, .rho = rho};
+  Rng rng(42);
+
+  Grid grid(dim, params.eps);
+  auto structure = MakeEmptinessStructure(kind, &grid, params);
+
+  std::vector<PointId> members;
+  for (const Point& p : UniformPoints(rng, 120, dim, 2.5)) {
+    const PointId id = grid.Insert(p).id;
+    members.push_back(id);
+    structure->Insert(id);
+  }
+  ASSERT_EQ(structure->size(), 120);
+
+  for (int probe = 0; probe < 300; ++probe) {
+    const Point q = UniformPoints(rng, 1, dim, 4.0)[0];
+    double best = 1e100;
+    for (const PointId m : members) {
+      best = std::min(best, Distance(q, grid.point(m), dim));
+    }
+    const PointId proof = structure->Query(q);
+    if (best <= params.eps) {
+      ASSERT_NE(proof, kInvalidPoint) << "must-find violated, best=" << best;
+    }
+    if (best > params.eps_outer()) {
+      ASSERT_EQ(proof, kInvalidPoint) << "must-miss violated, best=" << best;
+    }
+    if (proof != kInvalidPoint) {
+      ASSERT_LE(Distance(q, grid.point(proof), dim),
+                params.eps_outer() * (1 + 1e-12));
+    }
+  }
+}
+
+TEST_P(EmptinessContractTest, RemoveWorks) {
+  const auto [kind, rho] = GetParam();
+  DbscanParams params{.dim = 2, .eps = 1.0, .min_pts = 3, .rho = rho};
+  Grid grid(2, params.eps);
+  auto s = MakeEmptinessStructure(kind, &grid, params);
+
+  const PointId a = grid.Insert(Point{0, 0}).id;
+  const PointId b = grid.Insert(Point{0.1, 0.1}).id;
+  s->Insert(a);
+  s->Insert(b);
+  EXPECT_EQ(s->size(), 2);
+
+  s->Remove(a);
+  EXPECT_EQ(s->size(), 1);
+  const PointId proof = s->Query(Point{0, 0});
+  EXPECT_EQ(proof, b);  // Only b remains.
+
+  s->Remove(b);
+  EXPECT_EQ(s->size(), 0);
+  EXPECT_EQ(s->Query(Point{0, 0}), kInvalidPoint);
+}
+
+TEST_P(EmptinessContractTest, ForEachVisitsAllMembers) {
+  const auto [kind, rho] = GetParam();
+  DbscanParams params{.dim = 2, .eps = 1.0, .min_pts = 3, .rho = rho};
+  Rng rng(7);
+  Grid grid(2, params.eps);
+  auto s = MakeEmptinessStructure(kind, &grid, params);
+
+  std::set<PointId> want;
+  for (const Point& p : UniformPoints(rng, 37, 2, 1.0)) {
+    const PointId id = grid.Insert(p).id;
+    s->Insert(id);
+    want.insert(id);
+  }
+  std::set<PointId> got;
+  s->ForEach([&](PointId p) { got.insert(p); });
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, EmptinessContractTest,
+    ::testing::Values(EmptinessCase{EmptinessKind::kBruteForce, 0.0},
+                      EmptinessCase{EmptinessKind::kBruteForce, 0.001},
+                      EmptinessCase{EmptinessKind::kBruteForce, 0.5},
+                      EmptinessCase{EmptinessKind::kKdTree, 0.0},
+                      EmptinessCase{EmptinessKind::kKdTree, 0.2},
+                      EmptinessCase{EmptinessKind::kSubGrid, 0.001},
+                      EmptinessCase{EmptinessKind::kSubGrid, 0.1},
+                      EmptinessCase{EmptinessKind::kSubGrid, 0.5}));
+
+// Randomized mixed insert/remove fuzz against a naive mirror.
+TEST(EmptinessFuzzTest, MixedUpdatesKeepContract) {
+  DbscanParams params{.dim = 2, .eps = 1.0, .min_pts = 3, .rho = 0.2};
+  Rng rng(99);
+  for (const EmptinessKind kind :
+       {EmptinessKind::kBruteForce, EmptinessKind::kSubGrid,
+        EmptinessKind::kKdTree}) {
+    Grid grid(2, params.eps);
+    auto s = MakeEmptinessStructure(kind, &grid, params);
+    std::vector<PointId> members;
+
+    for (int step = 0; step < 2000; ++step) {
+      if (members.empty() || rng.NextBernoulli(0.6)) {
+        const PointId id = grid.Insert(UniformPoints(rng, 1, 2, 3.0)[0]).id;
+        s->Insert(id);
+        members.push_back(id);
+      } else {
+        const size_t i = rng.NextBelow(members.size());
+        s->Remove(members[i]);
+        members[i] = members.back();
+        members.pop_back();
+      }
+      ASSERT_EQ(s->size(), static_cast<int>(members.size()));
+      if (step % 20 == 0) {
+        const Point q = UniformPoints(rng, 1, 2, 3.0)[0];
+        double best = 1e100;
+        for (const PointId m : members) {
+          best = std::min(best, Distance(q, grid.point(m), 2));
+        }
+        const PointId proof = s->Query(q);
+        if (best <= params.eps) {
+          ASSERT_NE(proof, kInvalidPoint);
+        }
+        if (best > params.eps_outer()) {
+          ASSERT_EQ(proof, kInvalidPoint);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+#include "core/params.h"
+
+namespace ddc {
+namespace {
+
+Flags MakeFlags(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return Flags(static_cast<int>(argv.size()),
+               const_cast<char**>(argv.data()));
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  const Flags f = MakeFlags({"--n=500", "--rho=0.25", "--name=fig8"});
+  EXPECT_EQ(f.GetInt("n", 0), 500);
+  EXPECT_DOUBLE_EQ(f.GetDouble("rho", 0), 0.25);
+  EXPECT_EQ(f.GetString("name", ""), "fig8");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  const Flags f = MakeFlags({"--n", "42", "--verbose"});
+  EXPECT_EQ(f.GetInt("n", 0), 42);
+  EXPECT_TRUE(f.GetBool("verbose", false));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const Flags f = MakeFlags({});
+  EXPECT_EQ(f.GetInt("n", 77), 77);
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", 1.5), 1.5);
+  EXPECT_EQ(f.GetString("s", "dflt"), "dflt");
+  EXPECT_FALSE(f.GetBool("b", false));
+  EXPECT_FALSE(f.Has("n"));
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  const Flags f = MakeFlags({"--fast"});
+  EXPECT_TRUE(f.Has("fast"));
+  EXPECT_TRUE(f.GetBool("fast", false));
+}
+
+TEST(ParamsTest, ValidateAcceptsPaperDefaults) {
+  DbscanParams p{.dim = 3, .eps = 300, .min_pts = 10, .rho = 0.001};
+  p.Validate();  // Must not abort.
+  EXPECT_DOUBLE_EQ(p.eps_outer(), 300 * 1.001);
+  EXPECT_NE(p.ToString().find("eps=300"), std::string::npos);
+}
+
+TEST(ParamsDeathTest, RejectsBadValues) {
+  EXPECT_DEATH(DbscanParams({.dim = 0}).Validate(), "dim");
+  EXPECT_DEATH(DbscanParams({.dim = 2, .eps = -1}).Validate(), "eps");
+  EXPECT_DEATH(DbscanParams({.dim = 2, .eps = 1, .min_pts = 0}).Validate(),
+               "min_pts");
+  EXPECT_DEATH(
+      DbscanParams({.dim = 2, .eps = 1, .min_pts = 1, .rho = 1.5}).Validate(),
+      "rho");
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "geom/box.h"
+#include "geom/point.h"
+
+namespace ddc {
+namespace {
+
+TEST(PointTest, DistanceBasics) {
+  const Point a{0, 0, 0};
+  const Point b{3, 4, 0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b, 3), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b, 3), 5.0);
+  EXPECT_TRUE(WithinDistance(a, b, 3, 5.0));
+  EXPECT_FALSE(WithinDistance(a, b, 3, 4.999));
+}
+
+TEST(PointTest, DistanceRespectsDimension) {
+  const Point a{0, 0, 7};
+  const Point b{1, 0, -9};
+  // In 2D the third coordinate is ignored.
+  EXPECT_DOUBLE_EQ(Distance(a, b, 2), 1.0);
+  EXPECT_GT(Distance(a, b, 3), 16.0);
+}
+
+TEST(PointTest, DefaultIsOrigin) {
+  const Point p;
+  for (int i = 0; i < kMaxDim; ++i) EXPECT_EQ(p[i], 0.0);
+}
+
+TEST(PointTest, ToString) {
+  const Point p{1.5, -2};
+  EXPECT_EQ(p.ToString(2), "(1.5, -2)");
+}
+
+TEST(BoxTest, Contains) {
+  const Box box(Point{0, 0}, Point{1, 2});
+  EXPECT_TRUE(box.Contains(Point{0.5, 1.0}, 2));
+  EXPECT_TRUE(box.Contains(Point{0, 0}, 2));   // Boundary inclusive.
+  EXPECT_TRUE(box.Contains(Point{1, 2}, 2));
+  EXPECT_FALSE(box.Contains(Point{1.01, 1}, 2));
+}
+
+TEST(BoxTest, MinDistanceToPoint) {
+  const Box box(Point{0, 0}, Point{1, 1});
+  EXPECT_DOUBLE_EQ(box.MinSquaredDistance(Point{0.5, 0.5}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(box.MinSquaredDistance(Point{2, 0.5}, 2), 1.0);
+  EXPECT_DOUBLE_EQ(box.MinSquaredDistance(Point{2, 2}, 2), 2.0);
+  EXPECT_DOUBLE_EQ(box.MinSquaredDistance(Point{-3, -4}, 2), 25.0);
+}
+
+TEST(BoxTest, MinDistanceToBox) {
+  const Box a(Point{0, 0}, Point{1, 1});
+  const Box overlapping(Point{0.5, 0.5}, Point{2, 2});
+  EXPECT_DOUBLE_EQ(a.MinSquaredDistance(overlapping, 2), 0.0);
+  const Box right(Point{3, 0}, Point{4, 1});
+  EXPECT_DOUBLE_EQ(a.MinSquaredDistance(right, 2), 4.0);
+  const Box diagonal(Point{2, 2}, Point{3, 3});
+  EXPECT_DOUBLE_EQ(a.MinSquaredDistance(diagonal, 2), 2.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(diagonal.MinSquaredDistance(a, 2), 2.0);
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,100 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/incremental_dbscan.h"
+#include "core/static_dbscan.h"
+#include "tests/test_util.h"
+
+namespace ddc {
+namespace {
+
+// IncDBSCAN maintains exact DBSCAN: after every checkpoint of a mixed
+// insert/delete workload its full clustering must equal the static oracle.
+struct IncCase {
+  int dim;
+  double eps;
+  int min_pts;
+  double p_insert;
+};
+
+class IncDbscanOracleTest : public ::testing::TestWithParam<IncCase> {};
+
+TEST_P(IncDbscanOracleTest, MatchesOracleUnderMixedWorkload) {
+  const auto [dim, eps, min_pts, p_insert] = GetParam();
+  DbscanParams params{.dim = dim, .eps = eps, .min_pts = min_pts, .rho = 0.0};
+  Rng rng(4242 + dim);
+  IncrementalDbscan inc(params);
+  std::vector<PointId> alive;
+
+  for (int step = 0; step < 800; ++step) {
+    if (alive.empty() || rng.NextBernoulli(p_insert)) {
+      alive.push_back(inc.Insert(BlobPoints(rng, 1, dim, 7.0, 1, 1.2, 0.25)[0]));
+    } else {
+      const size_t i = rng.NextBelow(alive.size());
+      inc.Delete(alive[i]);
+      alive[i] = alive.back();
+      alive.pop_back();
+    }
+    if (step % 60 != 59) continue;
+
+    std::vector<PointId> ids = inc.AlivePoints();
+    std::vector<Point> pts;
+    for (const PointId id : ids) pts.push_back(inc.grid().point(id));
+    auto got = inc.QueryAll();
+    got.Canonicalize();
+    const auto want = StaticDbscan(pts, params).ToGroups(ids);
+    ASSERT_EQ(got, want) << "step " << step << " n=" << ids.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, IncDbscanOracleTest,
+    ::testing::Values(IncCase{2, 0.8, 4, 0.7}, IncCase{2, 0.8, 4, 0.45},
+                      IncCase{3, 1.1, 5, 0.7}, IncCase{1, 0.4, 2, 0.6},
+                      IncCase{5, 1.9, 3, 0.65}));
+
+TEST(IncDbscanTest, SplitRelabelsCorrectly) {
+  // A dumbbell: two blobs connected by a single chain point; deleting the
+  // chain point must split the cluster into two.
+  DbscanParams params{.dim = 2, .eps = 1.0, .min_pts = 3, .rho = 0.0};
+  IncrementalDbscan inc(params);
+  std::vector<PointId> left, right;
+  for (int i = 0; i < 4; ++i) left.push_back(inc.Insert(Point{0.2 * i, 0.0}));
+  for (int i = 0; i < 4; ++i) {
+    right.push_back(inc.Insert(Point{1.8 + 0.2 * i, 0.0}));
+  }
+  const PointId mid = inc.Insert(Point{1.2, 0.0});
+
+  auto r = inc.Query({left[0], right[0]});
+  ASSERT_EQ(r.groups.size(), 1u);
+
+  inc.Delete(mid);
+  r = inc.Query({left[0], right[0]});
+  ASSERT_EQ(r.groups.size(), 2u);
+}
+
+TEST(IncDbscanTest, RangeQueriesGrowWithDeletions) {
+  // Deletions in a dense region issue many more range queries than
+  // insertions — the drawback the paper's algorithms remove.
+  DbscanParams params{.dim = 2, .eps = 1.0, .min_pts = 5, .rho = 0.0};
+  IncrementalDbscan inc(params);
+  Rng rng(8);
+  std::vector<PointId> ids;
+  for (const Point& p : UniformPoints(rng, 300, 2, 4.0)) {
+    ids.push_back(inc.Insert(p));
+  }
+  const int64_t after_inserts = inc.range_queries_issued();
+  for (int i = 0; i < 100; ++i) inc.Delete(ids[i]);
+  const int64_t delete_queries = inc.range_queries_issued() - after_inserts;
+  EXPECT_GT(delete_queries, 100);  // More than one per deletion.
+}
+
+TEST(IncDbscanTest, RejectsApproximateParams) {
+  DbscanParams params{.dim = 2, .eps = 1.0, .min_pts = 3, .rho = 0.5};
+  EXPECT_DEATH(IncrementalDbscan inc(params), "exact");
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,145 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "grid/grid.h"
+#include "spatial/kd_tree.h"
+#include "tests/test_util.h"
+
+namespace ddc {
+namespace {
+
+const Point& GridCoords(const void* ctx, PointId id) {
+  return static_cast<const Grid*>(ctx)->point(id);
+}
+
+class KdTreeTest : public ::testing::Test {
+ protected:
+  KdTreeTest() : grid_(3, 100.0), tree_(&grid_, &GridCoords, 3) {}
+
+  PointId Add(double x, double y, double z) {
+    const PointId id = grid_.Insert(Point{x, y, z}).id;
+    tree_.Insert(id);
+    return id;
+  }
+
+  Grid grid_;
+  KdTree tree_;
+};
+
+TEST_F(KdTreeTest, EmptyTree) {
+  EXPECT_EQ(tree_.size(), 0);
+  EXPECT_EQ(tree_.FindWithin(Point{0, 0, 0}, 10.0), kInvalidPoint);
+  tree_.CheckInvariants();
+}
+
+TEST_F(KdTreeTest, SinglePoint) {
+  const PointId a = Add(1, 2, 3);
+  EXPECT_EQ(tree_.size(), 1);
+  EXPECT_EQ(tree_.FindWithin(Point{1, 2, 3.5}, 1.0), a);
+  EXPECT_EQ(tree_.FindWithin(Point{10, 10, 10}, 1.0), kInvalidPoint);
+  tree_.Remove(a);
+  EXPECT_EQ(tree_.size(), 0);
+  EXPECT_EQ(tree_.FindWithin(Point{1, 2, 3}, 1.0), kInvalidPoint);
+  tree_.CheckInvariants();
+}
+
+TEST_F(KdTreeTest, DuplicateCoordinatesRemoveCorrectly) {
+  // The (coordinate, id) tie-break must route every duplicate findably,
+  // including across rebuilds.
+  std::vector<PointId> dups;
+  for (int i = 0; i < 20; ++i) dups.push_back(Add(5, 5, 5));
+  for (int i = 0; i < 8; ++i) Add(1 + i, 2, 3);
+  tree_.CheckInvariants();
+  // Remove duplicates in a scrambled order; removals trigger rebuilds.
+  Rng rng(3);
+  while (!dups.empty()) {
+    const size_t i = rng.NextBelow(dups.size());
+    tree_.Remove(dups[i]);
+    dups[i] = dups.back();
+    dups.pop_back();
+    tree_.CheckInvariants();
+  }
+  EXPECT_EQ(tree_.size(), 8);
+  EXPECT_EQ(tree_.FindWithin(Point{5, 5, 5}, 0.5), kInvalidPoint);
+}
+
+TEST_F(KdTreeTest, ForEachVisitsAlive) {
+  std::set<PointId> want;
+  for (int i = 0; i < 30; ++i) want.insert(Add(i, -i, 2 * i));
+  const PointId gone = *want.begin();
+  tree_.Remove(gone);
+  want.erase(gone);
+  std::set<PointId> got;
+  tree_.ForEach([&](PointId p) { got.insert(p); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(KdTreeFuzzTest, FindWithinMatchesBruteForce) {
+  for (const int dim : {1, 2, 3, 5}) {
+    Grid grid(dim, 100.0);
+    KdTree tree(&grid, &GridCoords, dim);
+    Rng rng(7000 + dim);
+    std::vector<PointId> alive;
+
+    for (int step = 0; step < 1500; ++step) {
+      if (alive.empty() || rng.NextBernoulli(0.6)) {
+        const PointId id = grid.Insert(UniformPoints(rng, 1, dim, 20.0)[0]).id;
+        tree.Insert(id);
+        alive.push_back(id);
+      } else {
+        const size_t i = rng.NextBelow(alive.size());
+        tree.Remove(alive[i]);
+        grid.Delete(alive[i]);
+        alive[i] = alive.back();
+        alive.pop_back();
+      }
+      ASSERT_EQ(tree.size(), static_cast<int>(alive.size()));
+
+      if (step % 40 != 0) continue;
+      tree.CheckInvariants();
+      for (int probe = 0; probe < 10; ++probe) {
+        const Point q = UniformPoints(rng, 1, dim, 22.0)[0];
+        const double r = rng.NextDouble(0.5, 6.0);
+        double best = 1e100;
+        for (const PointId id : alive) {
+          best = std::min(best, Distance(q, grid.point(id), dim));
+        }
+        const PointId got = tree.FindWithin(q, r);
+        if (best <= r) {
+          ASSERT_NE(got, kInvalidPoint) << "dim=" << dim << " step=" << step;
+          ASSERT_LE(Distance(q, grid.point(got), dim), r * (1 + 1e-12));
+        } else {
+          ASSERT_EQ(got, kInvalidPoint);
+        }
+      }
+    }
+  }
+}
+
+TEST(KdTreeRebuildTest, HeavyDeletionCompacts) {
+  Grid grid(2, 100.0);
+  KdTree tree(&grid, &GridCoords, 2);
+  Rng rng(9);
+  std::vector<PointId> ids;
+  for (const Point& p : UniformPoints(rng, 2000, 2, 50.0)) {
+    const PointId id = grid.Insert(p).id;
+    tree.Insert(id);
+    ids.push_back(id);
+  }
+  // Delete 90%: rebuilds must keep the structure consistent and queries
+  // correct for the survivors.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i % 10 != 0) tree.Remove(ids[i]);
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 200);
+  for (size_t i = 0; i < ids.size(); i += 10) {
+    EXPECT_NE(tree.FindWithin(grid.point(ids[i]), 1e-9), kInvalidPoint);
+  }
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace ddc {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  // Bound 1 always yields 0.
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);  // Rough uniformity.
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBernoulli(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace ddc

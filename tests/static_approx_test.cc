@@ -1,0 +1,61 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/static_approx_dbscan.h"
+#include "core/static_dbscan.h"
+#include "tests/test_util.h"
+
+namespace ddc {
+namespace {
+
+// At rho == 0 the approximate algorithm degenerates to exact DBSCAN
+// (Section 2, Remark).
+TEST(StaticApproxTest, RhoZeroIsExact) {
+  Rng rng(21);
+  for (const int dim : {1, 2, 3, 5}) {
+    const auto pts = BlobPoints(rng, 200, dim, 7.0, 4, 0.9, 0.12);
+    DbscanParams params{.dim = dim, .eps = 0.9, .min_pts = 4, .rho = 0.0};
+    const auto got = StaticApproxDbscan(pts, params);
+    const auto want = OracleGroups(pts, params);
+    ASSERT_EQ(got, want) << "dim=" << dim;
+  }
+}
+
+// For rho > 0 the result must satisfy the sandwich guarantee.
+class StaticApproxSandwichTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(StaticApproxSandwichTest, Sandwiched) {
+  const double rho = GetParam();
+  Rng rng(22 + static_cast<int>(rho * 1000));
+  for (const int dim : {2, 3}) {
+    const auto pts = BlobPoints(rng, 250, dim, 7.0, 4, 0.9, 0.15);
+    DbscanParams params{.dim = dim, .eps = 0.9, .min_pts = 4, .rho = rho};
+    const auto got = StaticApproxDbscan(pts, params);
+    const auto lower = OracleGroups(pts, params);
+    const auto upper = OracleGroupsOuter(pts, params);
+    std::string why;
+    ASSERT_TRUE(CheckSandwich(lower, got, upper, &why))
+        << why << " dim=" << dim << " rho=" << rho;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rhos, StaticApproxSandwichTest,
+                         ::testing::Values(0.001, 0.1, 0.5));
+
+TEST(StaticApproxTest, EmptyAndTinyInputs) {
+  DbscanParams params{.dim = 2, .eps = 1, .min_pts = 2, .rho = 0.1};
+  EXPECT_TRUE(StaticApproxDbscan({}, params).groups.empty());
+  const auto one = StaticApproxDbscan({Point{0, 0}}, params);
+  EXPECT_TRUE(one.groups.empty());
+  EXPECT_EQ(one.noise.size(), 1u);
+  const auto pair =
+      StaticApproxDbscan({Point{0, 0}, Point{0.1, 0}}, params);
+  ASSERT_EQ(pair.groups.size(), 1u);
+  EXPECT_EQ(pair.groups[0].size(), 2u);
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,133 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/static_dbscan.h"
+#include "tests/test_util.h"
+
+namespace ddc {
+namespace {
+
+TEST(StaticDbscanTest, EmptyInput) {
+  const auto c = StaticDbscan({}, DbscanParams{.dim = 2, .eps = 1, .min_pts = 2});
+  EXPECT_EQ(c.num_clusters, 0);
+}
+
+TEST(StaticDbscanTest, SinglePointIsNoise) {
+  const auto c = StaticDbscan({Point{0, 0}},
+                              DbscanParams{.dim = 2, .eps = 1, .min_pts = 2});
+  EXPECT_EQ(c.num_clusters, 0);
+  EXPECT_FALSE(c.is_core[0]);
+  EXPECT_TRUE(c.cluster_ids[0].empty());
+}
+
+TEST(StaticDbscanTest, MinPtsOneMakesEverythingCore) {
+  const std::vector<Point> pts = {Point{0, 0}, Point{10, 10}};
+  const auto c =
+      StaticDbscan(pts, DbscanParams{.dim = 2, .eps = 1, .min_pts = 1});
+  EXPECT_EQ(c.num_clusters, 2);
+  EXPECT_TRUE(c.is_core[0]);
+  EXPECT_TRUE(c.is_core[1]);
+}
+
+TEST(StaticDbscanTest, TwoClustersAndNoise) {
+  // Cluster A around (0,0), cluster B around (10,0), one stray point.
+  std::vector<Point> pts;
+  for (int i = 0; i < 5; ++i) pts.push_back(Point{0.1 * i, 0.0});
+  for (int i = 0; i < 5; ++i) pts.push_back(Point{10 + 0.1 * i, 0.0});
+  pts.push_back(Point{5, 5});
+
+  const auto c =
+      StaticDbscan(pts, DbscanParams{.dim = 2, .eps = 0.5, .min_pts = 3});
+  EXPECT_EQ(c.num_clusters, 2);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(c.is_core[i]) << i;
+    ASSERT_EQ(c.cluster_ids[i].size(), 1u);
+  }
+  EXPECT_EQ(c.cluster_ids[0], c.cluster_ids[4]);
+  EXPECT_EQ(c.cluster_ids[5], c.cluster_ids[9]);
+  EXPECT_NE(c.cluster_ids[0][0], c.cluster_ids[5][0]);
+  EXPECT_TRUE(c.cluster_ids[10].empty());  // Noise.
+}
+
+TEST(StaticDbscanTest, BorderPointInTwoClusters) {
+  // Two tight quads, and a border point within eps of exactly one core
+  // point of each quad but itself non-core: DBSCAN assigns it to both
+  // clusters (clusters need not be disjoint).
+  std::vector<Point> pts = {
+      Point{0, 0},   Point{0.1, 0},   Point{0, 0.1},   Point{0.1, 0.1},  // A
+      Point{2.2, 0}, Point{2.1, 0},   Point{2.2, 0.1}, Point{2.1, 0.1},  // B
+      Point{1.1, 0},                                   // border point
+  };
+  // eps = 1.002: border reaches (0.1, 0) and (2.1, 0) at distance 1.0; every
+  // other quad member is at distance >= 1.005. So B(border, eps) holds only 3
+  // points < min_pts = 4 => non-core; each quad member covers its 4 mates
+  // (distances <= 0.15) => core.
+  const auto c =
+      StaticDbscan(pts, DbscanParams{.dim = 2, .eps = 1.002, .min_pts = 4});
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(c.is_core[i]) << i;
+  EXPECT_FALSE(c.is_core[8]);
+  ASSERT_EQ(c.num_clusters, 2);
+  EXPECT_EQ(c.cluster_ids[8].size(), 2u);  // Member of both clusters.
+}
+
+TEST(StaticDbscanTest, ChainTransitivity) {
+  // A chain of points each within eps of the next forms one cluster even
+  // though the endpoints are far apart ("transitivity of proximity").
+  std::vector<Point> pts;
+  for (int i = 0; i < 20; ++i) pts.push_back(Point{0.9 * i, 0.0});
+  const auto c =
+      StaticDbscan(pts, DbscanParams{.dim = 2, .eps = 1.0, .min_pts = 2});
+  EXPECT_EQ(c.num_clusters, 1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(c.cluster_ids[i].size(), 1u);
+}
+
+TEST(StaticDbscanTest, GroupsRoundTrip) {
+  Rng rng(3);
+  const auto pts = BlobPoints(rng, 120, 2, 10.0, 3, 0.6, 0.1);
+  const DbscanParams params{.dim = 2, .eps = 0.7, .min_pts = 4};
+  const auto c = StaticDbscan(pts, params);
+  const CGroupByResult groups = c.ToGroups();
+  // Every non-noise point appears in as many groups as it has cluster ids.
+  size_t members = 0;
+  for (const auto& g : groups.groups) members += g.size();
+  size_t want = 0;
+  for (const auto& ids : c.cluster_ids) want += ids.size();
+  EXPECT_EQ(members, want);
+  EXPECT_EQ(groups.groups.size(), static_cast<size_t>(c.num_clusters));
+}
+
+TEST(StaticDbscanTest, MonotoneInEps) {
+  // Growing eps can only merge/grow clusters: the sandwich checker with
+  // identical lower==reported must accept (lower at eps, upper at 2*eps).
+  Rng rng(17);
+  const auto pts = BlobPoints(rng, 150, 3, 8.0, 4, 0.9, 0.15);
+  DbscanParams lo{.dim = 3, .eps = 0.8, .min_pts = 4, .rho = 0.0};
+  DbscanParams hi = lo;
+  hi.eps = 1.6;
+  const auto lower = StaticDbscan(pts, lo).ToGroups();
+  const auto upper = StaticDbscan(pts, hi).ToGroups();
+  std::string why;
+  EXPECT_TRUE(CheckSandwich(lower, lower, upper, &why)) << why;
+}
+
+TEST(CheckSandwichTest, DetectsViolation) {
+  // lower = {0,1} together; reported splits them; must fail.
+  CGroupByResult lower;
+  lower.groups = {{0, 1}};
+  CGroupByResult reported;
+  reported.groups = {{0}, {1}};
+  CGroupByResult upper;
+  upper.groups = {{0, 1}};
+  std::string why;
+  EXPECT_FALSE(CheckSandwich(lower, reported, upper, &why));
+  EXPECT_FALSE(why.empty());
+  // And the reverse direction: reported merges what upper separates.
+  CGroupByResult upper2;
+  upper2.groups = {{0}, {1}};
+  EXPECT_FALSE(CheckSandwich(reported, lower, upper2, &why));
+}
+
+}  // namespace
+}  // namespace ddc

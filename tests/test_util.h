@@ -1,0 +1,64 @@
+#ifndef DDC_TESTS_TEST_UTIL_H_
+#define DDC_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/clusterer.h"
+#include "core/params.h"
+#include "core/static_dbscan.h"
+#include "geom/point.h"
+
+namespace ddc {
+
+/// n points uniform in [0, extent)^dim.
+inline std::vector<Point> UniformPoints(Rng& rng, int n, int dim,
+                                        double extent) {
+  std::vector<Point> pts(n);
+  for (auto& p : pts) {
+    for (int i = 0; i < dim; ++i) p[i] = rng.NextDouble(0, extent);
+  }
+  return pts;
+}
+
+/// n points drawn from `blobs` clusters of the given radius placed uniformly
+/// in [0, extent)^dim, plus a fraction of uniform noise. Produces the kind
+/// of density structure DBSCAN is designed for.
+inline std::vector<Point> BlobPoints(Rng& rng, int n, int dim, double extent,
+                                     int blobs, double radius,
+                                     double noise_fraction = 0.05) {
+  std::vector<Point> centers = UniformPoints(rng, blobs, dim, extent);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (int k = 0; k < n; ++k) {
+    if (rng.NextBernoulli(noise_fraction)) {
+      pts.push_back(UniformPoints(rng, 1, dim, extent)[0]);
+      continue;
+    }
+    const Point& c = centers[rng.NextBelow(blobs)];
+    Point p;
+    for (int i = 0; i < dim; ++i) {
+      p[i] = c[i] + rng.NextDouble(-radius, radius);
+    }
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+/// Ground-truth clustering of `points` as canonical groups (ids = positions).
+inline CGroupByResult OracleGroups(const std::vector<Point>& points,
+                                   const DbscanParams& params) {
+  return StaticDbscan(points, params).ToGroups();
+}
+
+/// Exact-DBSCAN groups at radius (1+rho)*eps — the sandwich upper bound.
+inline CGroupByResult OracleGroupsOuter(const std::vector<Point>& points,
+                                        DbscanParams params) {
+  params.eps = params.eps_outer();
+  params.rho = 0;
+  return StaticDbscan(points, params).ToGroups();
+}
+
+}  // namespace ddc
+
+#endif  // DDC_TESTS_TEST_UTIL_H_

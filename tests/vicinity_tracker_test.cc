@@ -1,0 +1,102 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/vicinity_tracker.h"
+#include "tests/test_util.h"
+
+namespace ddc {
+namespace {
+
+// After any prefix of insertions, is_core and vicinity counts must match a
+// brute-force recomputation.
+class VicinityTrackerTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VicinityTrackerTest, MatchesBruteForce) {
+  const int dim = GetParam();
+  DbscanParams params{.dim = dim, .eps = 1.0, .min_pts = 4, .rho = 0.0};
+  Rng rng(1000 + dim);
+  Grid grid(dim, params.eps);
+  VicinityTracker tracker(&grid, params);
+
+  std::vector<Point> pts = BlobPoints(rng, 250, dim, 6.0, 4, 0.8, 0.1);
+  std::vector<int> core_events;
+
+  for (int n = 0; n < static_cast<int>(pts.size()); ++n) {
+    const auto ins = grid.Insert(pts[n]);
+    tracker.OnInsert(ins.id, ins.cell,
+                     [&](PointId q, CellId) { core_events.push_back(q); });
+
+    if (n % 25 != 24) continue;
+    // Brute-force verification over the current prefix.
+    for (int i = 0; i <= n; ++i) {
+      int count = 0;
+      for (int j = 0; j <= n; ++j) {
+        if (WithinDistance(pts[i], pts[j], dim, params.eps)) ++count;
+      }
+      const bool want_core = count >= params.min_pts;
+      ASSERT_EQ(tracker.is_core(i), want_core) << "point " << i << " at n=" << n;
+      if (!want_core) {
+        ASSERT_EQ(tracker.vicinity_count(i), count) << "point " << i;
+      }
+    }
+  }
+
+  // Core transitions are permanent and unique.
+  std::set<int> seen;
+  for (const int q : core_events) {
+    EXPECT_TRUE(seen.insert(q).second) << "duplicate core event for " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, VicinityTrackerTest, ::testing::Values(1, 2, 3, 5));
+
+TEST(VicinityTrackerBasics, DenseCellPromotesResidents) {
+  // MinPts points dropped into one tiny region: all must turn core exactly
+  // when the threshold is crossed.
+  DbscanParams params{.dim = 2, .eps = 1.0, .min_pts = 3, .rho = 0.0};
+  Grid grid(2, params.eps);
+  VicinityTracker tracker(&grid, params);
+  std::vector<PointId> cores;
+  auto cb = [&](PointId q, CellId) { cores.push_back(q); };
+
+  auto insert = [&](double x, double y) {
+    const auto ins = grid.Insert(Point{x, y});
+    tracker.OnInsert(ins.id, ins.cell, cb);
+    return ins.id;
+  };
+
+  insert(0.1, 0.1);
+  insert(0.15, 0.1);
+  EXPECT_TRUE(cores.empty());
+  insert(0.1, 0.15);
+  EXPECT_EQ(cores.size(), 3u);  // All three at once.
+  insert(0.12, 0.12);
+  EXPECT_EQ(cores.size(), 4u);  // Newcomer is instantly core.
+}
+
+TEST(VicinityTrackerBasics, CrossCellPromotion) {
+  // Points in different cells within eps must count each other.
+  DbscanParams params{.dim = 1, .eps = 1.0, .min_pts = 2, .rho = 0.0};
+  Grid grid(1, params.eps);
+  VicinityTracker tracker(&grid, params);
+  std::vector<PointId> cores;
+  auto cb = [&](PointId q, CellId) { cores.push_back(q); };
+
+  auto a = grid.Insert(Point{0.0});
+  tracker.OnInsert(a.id, a.cell, cb);
+  EXPECT_TRUE(cores.empty());
+
+  auto b = grid.Insert(Point{0.9});  // Different cell (side 1.0), within eps.
+  tracker.OnInsert(b.id, b.cell, cb);
+  EXPECT_EQ(cores.size(), 2u);
+
+  auto c = grid.Insert(Point{5.0});  // Far away: isolated non-core.
+  tracker.OnInsert(c.id, c.cell, cb);
+  EXPECT_EQ(cores.size(), 2u);
+  EXPECT_FALSE(tracker.is_core(c.id));
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,186 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/fully_dynamic_clusterer.h"
+#include "core/semi_dynamic_clusterer.h"
+#include "workload/runner.h"
+#include "workload/seed_spreader.h"
+#include "workload/workload.h"
+
+namespace ddc {
+namespace {
+
+TEST(SeedSpreaderTest, CountsAndBounds) {
+  Rng rng(1);
+  SeedSpreaderConfig config;
+  config.dim = 3;
+  config.num_points = 5000;
+  const auto pts = GenerateSeedSpreader(config, rng);
+  ASSERT_EQ(pts.size(), 5000u);
+  // Noise points are inside the data space; cluster points can stray only a
+  // little beyond (spreader stations wander by steps of 50).
+  for (const Point& p : pts) {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_GT(p[i], -50000.0);
+      EXPECT_LT(p[i], 150000.0);
+    }
+  }
+}
+
+TEST(SeedSpreaderTest, ProducesTightClusters) {
+  // Most consecutive (pre-shuffle) cluster points are within one ball
+  // diameter of each other.
+  Rng rng(2);
+  SeedSpreaderConfig config;
+  config.dim = 2;
+  config.num_points = 2000;
+  const auto pts = GenerateSeedSpreader(config, rng);
+  int close = 0;
+  const int64_t cluster_pts = 2000 - 1;  // noise_fraction * 2000 ≈ 0.
+  for (int64_t i = 1; i < cluster_pts; ++i) {
+    close += Distance(pts[i - 1], pts[i], 2) <= 2 * config.ball_radius;
+  }
+  EXPECT_GT(close, cluster_pts * 0.8);
+}
+
+TEST(SeedSpreaderTest, UniformInBallStaysInBall) {
+  Rng rng(3);
+  const Point c{10, -5, 3, 1, 0};
+  for (int i = 0; i < 500; ++i) {
+    const Point p = UniformInBall(c, 7.0, 5, rng);
+    EXPECT_LE(Distance(p, c, 5), 7.0 * (1 + 1e-12));
+  }
+}
+
+TEST(BuildWorkloadTest, SemiDynamicShape) {
+  WorkloadConfig config;
+  config.num_updates = 2000;
+  config.insert_fraction = 1.0;
+  config.query_every = 100;
+  config.spreader.dim = 2;
+  config.spreader.num_points = 0;  // Overridden.
+  config.seed = 7;
+  const Workload w = BuildWorkload(config);
+  EXPECT_EQ(w.num_inserts, 2000);
+  EXPECT_EQ(w.num_deletes, 0);
+  EXPECT_EQ(w.points.size(), 2000u);
+  EXPECT_NEAR(w.num_queries, 19, 2);  // One per 100 updates.
+}
+
+TEST(BuildWorkloadTest, PrefixesNeverOverdraw) {
+  WorkloadConfig config;
+  config.num_updates = 3000;
+  config.insert_fraction = 2.0 / 3.0;
+  config.query_every = 0;
+  config.spreader.dim = 2;
+  config.seed = 8;
+  const Workload w = BuildWorkload(config);
+  EXPECT_EQ(w.num_inserts + w.num_deletes, 3000);
+
+  std::set<int64_t> alive;
+  for (const Operation& op : w.ops) {
+    if (op.type == Operation::Type::kInsert) {
+      EXPECT_TRUE(alive.insert(op.target).second);
+    } else if (op.type == Operation::Type::kDelete) {
+      // Deleting only alive points — the good-prefix condition.
+      ASSERT_EQ(alive.erase(op.target), 1u);
+    }
+  }
+}
+
+TEST(BuildWorkloadTest, QueriesReferenceAlivePoints) {
+  WorkloadConfig config;
+  config.num_updates = 2000;
+  config.insert_fraction = 5.0 / 6.0;
+  config.query_every = 50;
+  config.spreader.dim = 2;
+  config.seed = 9;
+  const Workload w = BuildWorkload(config);
+  EXPECT_GT(w.num_queries, 0);
+
+  std::set<int64_t> alive;
+  for (const Operation& op : w.ops) {
+    switch (op.type) {
+      case Operation::Type::kInsert:
+        alive.insert(op.target);
+        break;
+      case Operation::Type::kDelete:
+        alive.erase(op.target);
+        break;
+      case Operation::Type::kQuery:
+        ASSERT_GE(op.query.size(), 2u);
+        ASSERT_LE(op.query.size(), 100u);
+        for (const int64_t idx : op.query) {
+          ASSERT_TRUE(alive.count(idx)) << "query references dead point";
+        }
+        // No duplicates.
+        ASSERT_EQ(std::set<int64_t>(op.query.begin(), op.query.end()).size(),
+                  op.query.size());
+        break;
+    }
+  }
+}
+
+TEST(BuildWorkloadTest, DeterministicGivenSeed) {
+  WorkloadConfig config;
+  config.num_updates = 500;
+  config.insert_fraction = 0.8;
+  config.spreader.dim = 2;
+  config.seed = 11;
+  const Workload a = BuildWorkload(config);
+  const Workload b = BuildWorkload(config);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(a.ops[i].type), static_cast<int>(b.ops[i].type));
+    EXPECT_EQ(a.ops[i].target, b.ops[i].target);
+  }
+}
+
+TEST(RunnerTest, ExecutesFullWorkload) {
+  WorkloadConfig config;
+  config.num_updates = 1500;
+  config.insert_fraction = 5.0 / 6.0;
+  config.query_every = 100;
+  config.spreader.dim = 2;
+  config.spreader.extent = 2000.0;  // Dense enough for clusters to form.
+  config.seed = 12;
+  const Workload w = BuildWorkload(config);
+
+  DbscanParams params{.dim = 2, .eps = 100.0, .min_pts = 10, .rho = 0.001};
+  FullyDynamicClusterer clusterer(params);
+  const RunStats stats = RunWorkload(clusterer, w, RunOptions{});
+
+  EXPECT_EQ(stats.ops_executed, static_cast<int64_t>(w.ops.size()));
+  EXPECT_EQ(stats.updates_executed, 1500);
+  EXPECT_FALSE(stats.timed_out);
+  EXPECT_GT(stats.avg_workload_cost_us, 0);
+  EXPECT_GE(stats.max_update_cost_us, stats.avg_update_cost_us);
+  EXPECT_FALSE(stats.checkpoint_ops.empty());
+  EXPECT_EQ(stats.checkpoint_ops.back(), stats.ops_executed);
+  // The clusterer ends with exactly the alive points.
+  EXPECT_EQ(clusterer.size(), w.num_inserts - w.num_deletes);
+}
+
+TEST(RunnerTest, TimeBudgetAborts) {
+  WorkloadConfig config;
+  config.num_updates = 200000;
+  config.insert_fraction = 1.0;
+  config.query_every = 0;
+  config.spreader.dim = 2;
+  config.seed = 13;
+  const Workload w = BuildWorkload(config);
+
+  DbscanParams params{.dim = 2, .eps = 100.0, .min_pts = 10, .rho = 0.001};
+  SemiDynamicClusterer clusterer(params);
+  RunOptions options;
+  options.time_budget_seconds = 0.05;
+  const RunStats stats = RunWorkload(clusterer, w, options);
+  EXPECT_TRUE(stats.timed_out);
+  EXPECT_LT(stats.ops_executed, static_cast<int64_t>(w.ops.size()));
+}
+
+}  // namespace
+}  // namespace ddc
