@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace ddc {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  DDC_CHECK(1 + 1 == 2);
+  DDC_DCHECK(2 + 2 == 4);
+}
+
+TEST(CheckTest, CheckEvaluatesConditionExactlyOnce) {
+  int evaluations = 0;
+  DDC_CHECK(++evaluations == 1);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH(DDC_CHECK(1 == 2), "DDC_CHECK failed");
+}
+
+TEST(CheckDeathTest, MessageNamesSourceLocationAndCondition) {
+  // The abort message must carry enough to debug from a CI log alone: the
+  // file, and the literal condition text.
+  EXPECT_DEATH(DDC_CHECK(false && "reactor overheated"),
+               "check_test\\.cc.*false && \"reactor overheated\"");
+}
+
+TEST(CheckDeathTest, DcheckFollowsBuildType) {
+#ifdef NDEBUG
+  DDC_DCHECK(1 == 2);  // Compiled out in optimized builds: must not abort.
+#else
+  EXPECT_DEATH(DDC_DCHECK(1 == 2), "DDC_CHECK failed");
+#endif
+}
+
+#ifdef NDEBUG
+TEST(CheckTest, DcheckDoesNotEvaluateConditionWhenDisabled) {
+  int evaluations = 0;
+  DDC_DCHECK(++evaluations == 1);
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,184 @@
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/clusterer.h"
+#include "core/fully_dynamic_clusterer.h"
+#include "core/incremental_dbscan.h"
+#include "core/semi_dynamic_clusterer.h"
+#include "core/static_dbscan.h"
+#include "tests/test_util.h"
+#include "workload/workload.h"
+
+namespace ddc {
+namespace {
+
+/// Cross-cutting conformance harness: every Clusterer implementation ×
+/// every FullyDynamicClusterer::Options combination runs the same seeded
+/// workloads, and at every checkpoint the reported clustering must satisfy
+/// the paper's sandwich guarantee (Theorem 3) against the static exact
+/// oracle — refined by exact DBSCAN at ε and refining exact DBSCAN at
+/// (1+ρ)ε — with exact equality when rho == 0.
+
+/// One clusterer configuration under test.
+struct Combo {
+  std::string name;
+  bool supports_delete;
+  std::function<std::unique_ptr<Clusterer>(const DbscanParams&)> make;
+};
+
+/// All configurations valid at the given rho: every SemiDynamicClusterer
+/// emptiness kind, every FullyDynamicClusterer options stack (from the
+/// shared enumeration in test_util.h), and — since IncDBSCAN maintains exact
+/// DBSCAN — the baseline at rho == 0.
+std::vector<Combo> AllCombos(double rho) {
+  std::vector<Combo> combos;
+  for (const auto& [kind, name] : EmptinessKinds(rho)) {
+    combos.push_back({std::string("semi/") + name, false,
+                      [kind = kind](const DbscanParams& p) {
+                        return std::make_unique<SemiDynamicClusterer>(p, kind);
+                      }});
+  }
+  for (const NamedOptions& stack : FullyDynamicOptionStacks(rho)) {
+    combos.push_back({"full/" + stack.name, true,
+                      [options = stack.options](const DbscanParams& p) {
+                        return std::make_unique<FullyDynamicClusterer>(
+                            p, options);
+                      }});
+  }
+  if (rho == 0) {
+    combos.push_back({"inc", true, [](const DbscanParams& p) {
+                        return std::make_unique<IncrementalDbscan>(p);
+                      }});
+  }
+  return combos;
+}
+
+/// The two oracle clusterings bounding a checkpoint: exact DBSCAN at ε
+/// (lower) and at (1+ρ)ε (upper), in insertion-index space.
+struct CheckpointOracles {
+  CGroupByResult lower;
+  CGroupByResult upper;
+};
+
+/// Queries `c` over all alive points and checks the sandwich bounds (and
+/// exact equality with the ε oracle when rho == 0) in insertion-index space.
+void ExpectSandwichHolds(Clusterer& c, const std::vector<PointId>& ids,
+                         double rho, const CheckpointOracles& oracles) {
+  const std::vector<PointId> alive = AliveInsertionIndices(ids);
+  std::vector<PointId> alive_pids;
+  alive_pids.reserve(alive.size());
+  for (const PointId k : alive) alive_pids.push_back(ids[k]);
+
+  const CGroupByResult reported =
+      RemapToInsertionIndex(c.Query(alive_pids), ids);
+  std::string why;
+  EXPECT_TRUE(CheckSandwich(oracles.lower, reported, oracles.upper, &why))
+      << why;
+  if (rho == 0) {
+    EXPECT_EQ(reported, oracles.lower)
+        << "rho == 0 must reproduce exact DBSCAN verbatim";
+  }
+}
+
+/// Drives every combo through the workload, checkpointing every
+/// `check_every` updates and after the final update. The alive set at each
+/// checkpoint is combo-independent, so the static oracles are computed once
+/// (replaying the ops without a clusterer) and shared across all combos.
+void RunConformance(const Workload& w, const DbscanParams& params,
+                    int64_t check_every) {
+  std::vector<CheckpointOracles> oracles;
+  {
+    std::vector<PointId> ids(w.points.size(), kInvalidPoint);
+    int64_t updates = 0;
+    for (const Operation& op : w.ops) {
+      if (op.type == Operation::Type::kQuery) continue;
+      // The alive/dead pattern is all OracleOverAlive reads, so the
+      // insertion index itself stands in for a live PointId.
+      ids[op.target] = op.type == Operation::Type::kInsert
+                           ? static_cast<PointId>(op.target)
+                           : kInvalidPoint;
+      ++updates;
+      if (updates % check_every == 0 || updates == w.num_updates) {
+        CheckpointOracles cp;
+        cp.lower = OracleOverAlive(w.points, ids, params);
+        if (params.rho == 0) {
+          cp.upper = cp.lower;
+        } else {
+          DbscanParams outer = params;
+          outer.eps = params.eps_outer();
+          outer.rho = 0;
+          cp.upper = OracleOverAlive(w.points, ids, outer);
+        }
+        oracles.push_back(std::move(cp));
+      }
+    }
+  }
+
+  for (const Combo& combo : AllCombos(params.rho)) {
+    if (!combo.supports_delete && w.num_deletes > 0) continue;
+    SCOPED_TRACE(combo.name);
+    std::unique_ptr<Clusterer> c = combo.make(params);
+    std::vector<PointId> ids(w.points.size(), kInvalidPoint);
+    int64_t updates = 0;
+    size_t checkpoint = 0;
+    for (const Operation& op : w.ops) {
+      if (op.type == Operation::Type::kQuery) continue;
+      ApplyOp(*c, w, op, ids);
+      ++updates;
+      if (updates % check_every == 0 || updates == w.num_updates) {
+        ExpectSandwichHolds(*c, ids, params.rho, oracles[checkpoint++]);
+        if (::testing::Test::HasFailure()) {
+          return;  // One broken combo is enough signal; stop early.
+        }
+      }
+    }
+    EXPECT_EQ(c->size(), w.num_inserts - w.num_deletes);
+  }
+}
+
+Workload MakeWorkload(double insert_fraction, uint64_t seed) {
+  WorkloadConfig config;
+  config.num_updates = 360;
+  config.insert_fraction = insert_fraction;
+  config.query_every = 0;
+  config.spreader.dim = 2;
+  config.spreader.extent = 2500.0;
+  config.seed = seed;
+  return BuildWorkload(config);
+}
+
+DbscanParams MakeParams(double rho) {
+  return DbscanParams{.dim = 2, .eps = 110.0, .min_pts = 5, .rho = rho};
+}
+
+class ConformanceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConformanceTest, InsertOnlyWorkload) {
+  RunConformance(MakeWorkload(1.0, 7), MakeParams(GetParam()), 120);
+}
+
+TEST_P(ConformanceTest, DeleteHeavyWorkload) {
+  RunConformance(MakeWorkload(0.55, 8), MakeParams(GetParam()), 120);
+}
+
+TEST_P(ConformanceTest, MixedWorkload) {
+  RunConformance(MakeWorkload(0.75, 9), MakeParams(GetParam()), 120);
+}
+
+/// rho == 0 exercises the exact configurations (plus IncDBSCAN and the
+/// exact-equality assertion); the larger rho widens the don't-care band so
+/// the sandwich is checked where approximate and exact genuinely diverge.
+INSTANTIATE_TEST_SUITE_P(Rho, ConformanceTest,
+                         ::testing::Values(0.0, 0.001, 0.1),
+                         [](const auto& info) {
+                           return info.param == 0.0     ? "Exact"
+                                  : info.param == 0.001 ? "TinyRho"
+                                                        : "WideRho";
+                         });
+
+}  // namespace
+}  // namespace ddc

@@ -8,6 +8,7 @@
 #include "core/incremental_dbscan.h"
 #include "core/semi_dynamic_clusterer.h"
 #include "core/static_dbscan.h"
+#include "tests/test_util.h"
 #include "workload/workload.h"
 
 namespace ddc {
@@ -52,6 +53,29 @@ TEST(EquivalenceTest, AllAlgorithmsAgreeOnInsertions) {
   }
 }
 
+/// Shared driver for the full-vs-IncDBSCAN agreement tests: replays `w`
+/// through both clusterers at rho == 0, asserting identical clusterings
+/// every `check_every` ops and after the last one. Comparison happens in the
+/// shared insertion-index space (PointIds diverge once deletions interleave
+/// differently with internal id assignment).
+void ExpectFullMatchesIncThroughout(const Workload& w,
+                                    const DbscanParams& params,
+                                    size_t check_every) {
+  FullyDynamicClusterer full(params);
+  IncrementalDbscan inc(params);
+  std::vector<PointId> full_id(w.points.size(), kInvalidPoint);
+  std::vector<PointId> inc_id(w.points.size(), kInvalidPoint);
+
+  for (size_t i = 0; i < w.ops.size(); ++i) {
+    ApplyOp(full, w, w.ops[i], full_id);
+    ApplyOp(inc, w, w.ops[i], inc_id);
+    if (i % check_every != check_every - 1 && i + 1 != w.ops.size()) continue;
+    const auto a = RemapToInsertionIndex(full.QueryAll(), full_id);
+    const auto b = RemapToInsertionIndex(inc.QueryAll(), inc_id);
+    ASSERT_EQ(a, b) << "at op " << i;
+  }
+}
+
 /// On mixed workloads (deletions included), the fully-dynamic clusterer and
 /// IncDBSCAN must agree exactly when rho == 0.
 TEST(EquivalenceTest, FullyDynamicMatchesIncDbscanOnMixedWorkload) {
@@ -62,43 +86,79 @@ TEST(EquivalenceTest, FullyDynamicMatchesIncDbscanOnMixedWorkload) {
   config.spreader.dim = 2;
   config.spreader.extent = 2500.0;
   config.seed = 100;
-  const Workload w = BuildWorkload(config);
 
   DbscanParams params{.dim = 2, .eps = 110.0, .min_pts = 5, .rho = 0.0};
-  FullyDynamicClusterer full(params);
+  ExpectFullMatchesIncThroughout(BuildWorkload(config), params, 120);
+}
+
+/// Delete-heavy workloads are the fully-dynamic algorithm's entire reason to
+/// exist (Theorem 2 shows insertion-only schemes cannot survive deletions):
+/// with nearly half the updates deleting points, clusters repeatedly split —
+/// IncDBSCAN's expensive BFS path — and at rho == 0 both algorithms must
+/// still agree exactly, checkpoint after checkpoint.
+TEST(EquivalenceTest, FullyDynamicMatchesIncDbscanOnDeleteHeavyWorkload) {
+  WorkloadConfig config;
+  config.num_updates = 900;
+  config.insert_fraction = 0.55;
+  config.query_every = 0;
+  config.spreader.dim = 2;
+  config.spreader.extent = 2000.0;
+  config.seed = 102;
+  const Workload w = BuildWorkload(config);
+  ASSERT_GT(w.num_deletes, w.num_updates / 3);
+
+  DbscanParams params{.dim = 2, .eps = 100.0, .min_pts = 4, .rho = 0.0};
+  ExpectFullMatchesIncThroughout(w, params, 90);
+}
+
+/// Mixed insert/delete workload across every FullyDynamicClusterer options
+/// stack: at rho == 0 all exact structure combinations must agree with
+/// IncDBSCAN on the workload's own subset C-group-by queries, not just on
+/// full clusterings.
+TEST(EquivalenceTest, AllExactOptionStacksAgreeOnMixedWorkloadQueries) {
+  WorkloadConfig config;
+  config.num_updates = 600;
+  config.insert_fraction = 0.7;
+  config.query_every = 75;
+  config.spreader.dim = 2;
+  config.spreader.extent = 2200.0;
+  config.seed = 103;
+  const Workload w = BuildWorkload(config);
+  ASSERT_GT(w.num_queries, 0);
+
+  DbscanParams params{.dim = 2, .eps = 105.0, .min_pts = 5, .rho = 0.0};
+  const std::vector<NamedOptions> stacks = FullyDynamicOptionStacks(0.0);
+
   IncrementalDbscan inc(params);
-  std::vector<PointId> full_id(w.points.size(), kInvalidPoint);
   std::vector<PointId> inc_id(w.points.size(), kInvalidPoint);
+  std::vector<std::unique_ptr<FullyDynamicClusterer>> fulls;
+  std::vector<std::vector<PointId>> full_ids;
+  for (const auto& [name, options] : stacks) {
+    fulls.push_back(std::make_unique<FullyDynamicClusterer>(params, options));
+    full_ids.emplace_back(w.points.size(), kInvalidPoint);
+  }
 
   for (size_t i = 0; i < w.ops.size(); ++i) {
     const Operation& op = w.ops[i];
-    if (op.type == Operation::Type::kInsert) {
-      full_id[op.target] = full.Insert(w.points[op.target]);
-      inc_id[op.target] = inc.Insert(w.points[op.target]);
-    } else if (op.type == Operation::Type::kDelete) {
-      full.Delete(full_id[op.target]);
-      inc.Delete(inc_id[op.target]);
+    if (op.type != Operation::Type::kQuery) {
+      ApplyOp(inc, w, op, inc_id);
+      for (size_t s = 0; s < fulls.size(); ++s) {
+        ApplyOp(*fulls[s], w, op, full_ids[s]);
+      }
+      continue;
     }
-    if (i % 120 != 119 && i + 1 != w.ops.size()) continue;
-
-    // Compare in the shared insertion-index space (PointIds diverge once
-    // deletions interleave differently with internal id assignment).
-    auto remap = [&](CGroupByResult r, const std::vector<PointId>& ids) {
-      std::vector<PointId> back(ids.size() + r.groups.size() * 0 + 1);
-      std::unordered_map<PointId, int64_t> inv;
-      for (size_t k = 0; k < ids.size(); ++k) {
-        if (ids[k] != kInvalidPoint) inv[ids[k]] = static_cast<int64_t>(k);
-      }
-      for (auto& g : r.groups) {
-        for (auto& p : g) p = static_cast<PointId>(inv.at(p));
-      }
-      for (auto& p : r.noise) p = static_cast<PointId>(inv.at(p));
-      r.Canonicalize();
-      return r;
+    auto to_pids = [&](const std::vector<PointId>& ids) {
+      std::vector<PointId> q;
+      q.reserve(op.query.size());
+      for (const int64_t k : op.query) q.push_back(ids[k]);
+      return q;
     };
-    const auto a = remap(full.QueryAll(), full_id);
-    const auto b = remap(inc.QueryAll(), inc_id);
-    ASSERT_EQ(a, b) << "at op " << i;
+    const auto want = RemapToInsertionIndex(inc.Query(to_pids(inc_id)), inc_id);
+    for (size_t s = 0; s < fulls.size(); ++s) {
+      const auto got = RemapToInsertionIndex(
+          fulls[s]->Query(to_pids(full_ids[s])), full_ids[s]);
+      ASSERT_EQ(got, want) << stacks[s].name << " at op " << i;
+    }
   }
 }
 

@@ -40,6 +40,74 @@ TEST(FlagsTest, BareFlagIsTrue) {
   EXPECT_TRUE(f.GetBool("fast", false));
 }
 
+TEST(FlagsTest, UnknownFlagsAreKeptAndReadable) {
+  // The parser is schema-free: flags nothing registered are still stored, so
+  // a bench can probe experimental knobs without declaring them.
+  const Flags f = MakeFlags({"--totally-unknown=7"});
+  EXPECT_TRUE(f.Has("totally-unknown"));
+  EXPECT_EQ(f.GetInt("totally-unknown", 0), 7);
+  EXPECT_FALSE(f.Has("totally_unknown"));  // No name normalization.
+}
+
+TEST(FlagsTest, MalformedNumericValuesFallBackToZeroNotDefault) {
+  // strtoll/strtod semantics: a present-but-unparsable value reads as 0,
+  // not as the caller's default — the flag *was* provided.
+  const Flags f = MakeFlags({"--n=abc", "--x=fast", "--b=yes"});
+  EXPECT_EQ(f.GetInt("n", 42), 0);
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", 1.5), 0.0);
+  EXPECT_FALSE(f.GetBool("b", true));  // Only "true"/"1" parse as true.
+}
+
+TEST(FlagsTest, PartiallyNumericValuesParsePrefix) {
+  const Flags f = MakeFlags({"--n=12abc", "--x=2.5km"});
+  EXPECT_EQ(f.GetInt("n", 0), 12);
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", 0), 2.5);
+}
+
+TEST(FlagsTest, EqualsAndSpaceSyntaxAreEquivalent) {
+  const Flags a = MakeFlags({"--n=500", "--name=fig8"});
+  const Flags b = MakeFlags({"--n", "500", "--name", "fig8"});
+  EXPECT_EQ(a.GetInt("n", 0), b.GetInt("n", 0));
+  EXPECT_EQ(a.GetString("name", ""), b.GetString("name", ""));
+}
+
+TEST(FlagsTest, EmptyEqualsValueIsPresentButEmpty) {
+  const Flags f = MakeFlags({"--name="});
+  EXPECT_TRUE(f.Has("name"));
+  EXPECT_EQ(f.GetString("name", "dflt"), "");
+  EXPECT_EQ(f.GetInt("name", 42), 0);
+}
+
+TEST(FlagsTest, SpaceSyntaxDoesNotConsumeFollowingFlag) {
+  // `--a --b=1`: the next token starts with '-', so `a` becomes a bare
+  // boolean instead of swallowing `--b=1` as its value.
+  const Flags f = MakeFlags({"--a", "--b=1"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_EQ(f.GetInt("b", 0), 1);
+}
+
+TEST(FlagsTest, LastOccurrenceWins) {
+  const Flags f = MakeFlags({"--n=1", "--n=2"});
+  EXPECT_EQ(f.GetInt("n", 0), 2);
+}
+
+TEST(FlagsDeathTest, SingleDashArgumentAborts) {
+  EXPECT_DEATH(MakeFlags({"-n", "5"}), "DDC_CHECK failed");
+}
+
+TEST(FlagsDeathTest, BarePositionalArgumentAborts) {
+  EXPECT_DEATH(MakeFlags({"value"}), "DDC_CHECK failed");
+}
+
+TEST(FlagsDeathTest, NegativeNumberAsSpaceSeparatedValueAborts) {
+  // Known sharp edge: `--n -5` does not parse as n = -5. The leading '-'
+  // makes `-5` look like the next flag, `n` becomes bare-true, and `-5`
+  // itself fails the `--`-prefix check. Negative values need `--n=-5`.
+  EXPECT_DEATH(MakeFlags({"--n", "-5"}), "DDC_CHECK failed");
+  const Flags f = MakeFlags({"--n=-5"});
+  EXPECT_EQ(f.GetInt("n", 0), -5);
+}
+
 TEST(ParamsTest, ValidateAcceptsPaperDefaults) {
   DbscanParams p{.dim = 3, .eps = 300, .min_pts = 10, .rho = 0.001};
   p.Validate();  // Must not abort.

@@ -1,13 +1,19 @@
 #ifndef DDC_TESTS_TEST_UTIL_H_
 #define DDC_TESTS_TEST_UTIL_H_
 
+#include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/random.h"
 #include "core/clusterer.h"
+#include "core/fully_dynamic_clusterer.h"
 #include "core/params.h"
 #include "core/static_dbscan.h"
 #include "geom/point.h"
+#include "workload/workload.h"
 
 namespace ddc {
 
@@ -57,6 +63,108 @@ inline CGroupByResult OracleGroupsOuter(const std::vector<Point>& points,
   params.eps = params.eps_outer();
   params.rho = 0;
   return StaticDbscan(points, params).ToGroups();
+}
+
+/// The id-translation idiom shared by the cross-algorithm tests: workloads
+/// address points by *insertion index*, each clusterer assigns its own
+/// PointIds, and `ids[k]` records the live PointId of insertion index k
+/// (kInvalidPoint while not inserted or after deletion).
+
+/// Applies one workload update to `c`, maintaining the `ids` translation
+/// table. Query operations are ignored (tests issue their own queries).
+inline void ApplyOp(Clusterer& c, const Workload& w, const Operation& op,
+                    std::vector<PointId>& ids) {
+  if (op.type == Operation::Type::kInsert) {
+    ids[op.target] = c.Insert(w.points[op.target]);
+  } else if (op.type == Operation::Type::kDelete) {
+    DDC_CHECK(ids[op.target] != kInvalidPoint);
+    c.Delete(ids[op.target]);
+    ids[op.target] = kInvalidPoint;
+  }
+}
+
+/// The insertion indices currently alive under `ids`, ascending.
+inline std::vector<PointId> AliveInsertionIndices(
+    const std::vector<PointId>& ids) {
+  std::vector<PointId> alive;
+  for (size_t k = 0; k < ids.size(); ++k) {
+    if (ids[k] != kInvalidPoint) alive.push_back(static_cast<PointId>(k));
+  }
+  return alive;
+}
+
+/// Remaps a query result from clusterer-assigned PointIds back to insertion
+/// indices, so results from different clusterers (whose id streams diverge
+/// once deletions interleave with id assignment) become comparable.
+/// Canonicalized.
+inline CGroupByResult RemapToInsertionIndex(CGroupByResult r,
+                                            const std::vector<PointId>& ids) {
+  std::unordered_map<PointId, PointId> inv;
+  for (size_t k = 0; k < ids.size(); ++k) {
+    if (ids[k] != kInvalidPoint) inv[ids[k]] = static_cast<PointId>(k);
+  }
+  for (auto& g : r.groups) {
+    for (auto& p : g) p = inv.at(p);
+  }
+  for (auto& p : r.noise) p = inv.at(p);
+  r.Canonicalize();
+  return r;
+}
+
+/// Exact-DBSCAN oracle over the alive subset of the workload's points,
+/// labeled by insertion index (rho is ignored by StaticDbscan, so pass
+/// params with eps = eps_outer() for the sandwich upper bound).
+inline CGroupByResult OracleOverAlive(const std::vector<Point>& points,
+                                      const std::vector<PointId>& ids,
+                                      const DbscanParams& params) {
+  const std::vector<PointId> alive = AliveInsertionIndices(ids);
+  std::vector<Point> alive_points;
+  alive_points.reserve(alive.size());
+  for (const PointId k : alive) alive_points.push_back(points[k]);
+  return StaticDbscan(alive_points, params).ToGroups(alive);
+}
+
+/// The emptiness kinds valid at the given rho (kSubGrid buckets at side
+/// ρε/(2√d), so it exists only for rho > 0), with display names.
+inline std::vector<std::pair<EmptinessKind, const char*>> EmptinessKinds(
+    double rho) {
+  std::vector<std::pair<EmptinessKind, const char*>> kinds = {
+      {EmptinessKind::kBruteForce, "bf"}, {EmptinessKind::kKdTree, "kdtree"}};
+  if (rho > 0) kinds.push_back({EmptinessKind::kSubGrid, "subgrid"});
+  return kinds;
+}
+
+/// One named FullyDynamicClusterer::Options structure stack.
+struct NamedOptions {
+  std::string name;
+  FullyDynamicClusterer::Options options;
+};
+
+/// Every options combination valid at the given rho — the single source the
+/// cross-algorithm tests enumerate from, so adding a structure kind widens
+/// every suite at once. The kSubGrid emptiness and counter structures bucket
+/// at side ρε/(2√d), so they exist only for rho > 0.
+inline std::vector<NamedOptions> FullyDynamicOptionStacks(double rho) {
+  const std::pair<ConnectivityKind, const char*> connectivity[] = {
+      {ConnectivityKind::kHdt, "hdt"}, {ConnectivityKind::kBfs, "bfs"}};
+  const std::pair<CounterKind, const char*> counters[] = {
+      {CounterKind::kExact, "exact"}, {CounterKind::kSubGrid, "subgrid"}};
+
+  std::vector<NamedOptions> stacks;
+  for (const auto& [e, e_name] : EmptinessKinds(rho)) {
+    for (const auto& [c, c_name] : connectivity) {
+      for (const auto& [k, k_name] : counters) {
+        if (rho == 0 && k == CounterKind::kSubGrid) continue;
+        FullyDynamicClusterer::Options options;
+        options.emptiness = e;
+        options.connectivity = c;
+        options.counter = k;
+        stacks.push_back({std::string(e_name) + "+" + c_name + "+" + k_name,
+                          options});
+      }
+    }
+  }
+  return stacks;
 }
 
 }  // namespace ddc
