@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   for (const int dim : dims) {
     const ddc::Workload w = ddc::bench::PaperWorkload(
         dim, config.n, ins, config.query_every, config.seed);
-    const ddc::DbscanParams params = ddc::bench::PaperParams(dim);
+    const ddc::DbscanParams params = ddc::PaperParams(dim);
 
     for (const auto& [name, kind] :
          {std::pair<const char*, ddc::ConnectivityKind>{

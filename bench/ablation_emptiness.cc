@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
               "avg(us)", "maxupd(us)");
 
   for (const double rho : {0.001, 0.1}) {
-    const ddc::DbscanParams params = ddc::bench::PaperParams(dim, 100.0, rho);
+    const ddc::DbscanParams params = ddc::PaperParams(dim, 100.0, rho);
 
     // Semi-dynamic: emptiness structure choice.
     {

@@ -1,45 +1,12 @@
 #include "bench/bench_common.h"
 
-#include <cstdio>
+#include <algorithm>
+#include <memory>
 
-#include "common/check.h"
-#include "core/fully_dynamic_clusterer.h"
-#include "core/incremental_dbscan.h"
-#include "core/semi_dynamic_clusterer.h"
+#include "core/clusterer.h"
 
 namespace ddc {
 namespace bench {
-
-std::unique_ptr<Clusterer> MakeMethod(const std::string& name,
-                                      DbscanParams params) {
-  if (name == "2d-semi-exact") {
-    params.rho = 0;
-    return std::make_unique<SemiDynamicClusterer>(params);
-  }
-  if (name == "semi-approx") {
-    return std::make_unique<SemiDynamicClusterer>(params);
-  }
-  if (name == "2d-full-exact") {
-    params.rho = 0;
-    return std::make_unique<FullyDynamicClusterer>(params);
-  }
-  if (name == "double-approx") {
-    return std::make_unique<FullyDynamicClusterer>(params);
-  }
-  if (name == "inc-dbscan") {
-    params.rho = 0;
-    return std::make_unique<IncrementalDbscan>(params);
-  }
-  DDC_CHECK(false && "unknown method");
-  return nullptr;
-}
-
-DbscanParams PaperParams(int dim, double eps_over_d, double rho) {
-  return DbscanParams{.dim = dim,
-                      .eps = eps_over_d * dim,
-                      .min_pts = 10,
-                      .rho = rho};
-}
 
 Workload PaperWorkload(int dim, int64_t n, double ins_fraction,
                        int64_t query_every, uint64_t seed) {
@@ -60,69 +27,6 @@ RunStats RunMethod(const std::string& method, const DbscanParams& params,
   options.num_checkpoints = checkpoints;
   options.time_budget_seconds = budget_seconds;
   return RunWorkload(*clusterer, workload, options);
-}
-
-std::string Cell(const RunStats& stats, double value) {
-  // The paper terminated IncDBSCAN after 3 hours in 5D/7D; a timed-out run
-  // is reported the same way rather than with a misleading partial average.
-  if (stats.timed_out) return "TIMEOUT";
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.2f", value);
-  return buf;
-}
-
-void PrintSeries(const std::string& title,
-                 const std::vector<std::string>& method_names,
-                 const std::vector<RunStats>& runs) {
-  std::printf("\n=== %s ===\n", title.c_str());
-  DDC_CHECK(method_names.size() == runs.size());
-
-  // Checkpoint header from the longest finished run.
-  size_t ref = 0;
-  for (size_t i = 0; i < runs.size(); ++i) {
-    if (runs[i].checkpoint_ops.size() > runs[ref].checkpoint_ops.size()) {
-      ref = i;
-    }
-  }
-  std::printf("%-16s", "ops:");
-  for (const int64_t t : runs[ref].checkpoint_ops) {
-    std::printf("%12lld", static_cast<long long>(t));
-  }
-  std::printf("\n-- average cost per operation (microsec) --\n");
-  for (size_t i = 0; i < runs.size(); ++i) {
-    std::printf("%-16s", method_names[i].c_str());
-    for (const double v : runs[i].avg_cost_us) std::printf("%12.2f", v);
-    if (runs[i].timed_out) std::printf("   [TIMEOUT]");
-    std::printf("\n");
-  }
-  std::printf("-- maximum update cost (microsec) --\n");
-  for (size_t i = 0; i < runs.size(); ++i) {
-    std::printf("%-16s", method_names[i].c_str());
-    for (const double v : runs[i].max_upd_cost_us) std::printf("%12.1f", v);
-    if (runs[i].timed_out) std::printf("   [TIMEOUT]");
-    std::printf("\n");
-  }
-  std::fflush(stdout);
-}
-
-void PrintSweep(const std::string& title, const std::string& x_label,
-                const std::vector<std::string>& x_values,
-                const std::vector<std::string>& method_names,
-                const std::vector<std::vector<RunStats>>& cells) {
-  std::printf("\n=== %s ===\n", title.c_str());
-  std::printf("-- average workload cost (microsec) --\n");
-  std::printf("%-14s", x_label.c_str());
-  for (const auto& m : method_names) std::printf("%16s", m.c_str());
-  std::printf("\n");
-  for (size_t r = 0; r < x_values.size(); ++r) {
-    std::printf("%-14s", x_values[r].c_str());
-    for (size_t c = 0; c < method_names.size(); ++c) {
-      const RunStats& s = cells[r][c];
-      std::printf("%16s", Cell(s, s.avg_workload_cost_us).c_str());
-    }
-    std::printf("\n");
-  }
-  std::fflush(stdout);
 }
 
 BenchConfig BenchConfig::FromFlags(const Flags& flags, int64_t default_n) {

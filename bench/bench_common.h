@@ -1,33 +1,23 @@
 #ifndef DDC_BENCH_BENCH_COMMON_H_
 #define DDC_BENCH_BENCH_COMMON_H_
 
-#include <memory>
 #include <string>
-#include <vector>
 
 #include "common/flags.h"
-#include "core/clusterer.h"
+#include "core/method_registry.h"
 #include "core/params.h"
+#include "telemetry/report.h"
 #include "workload/runner.h"
 #include "workload/workload.h"
 
 namespace ddc {
 namespace bench {
 
-/// The five algorithm configurations of Section 8.1's evaluation:
-///   "2d-semi-exact"  — Theorem 1 with rho = 0 (exact DBSCAN, insert-only)
-///   "semi-approx"    — Theorem 1, ρ-approximate, insert-only
-///   "2d-full-exact"  — Theorem 4 with rho = 0 (exact DBSCAN, fully dynamic)
-///   "double-approx"  — Theorem 4, ρ-double-approximate, fully dynamic
-///   "inc-dbscan"     — the IncDBSCAN baseline [8]
-std::unique_ptr<Clusterer> MakeMethod(const std::string& name,
-                                      DbscanParams params);
-
-/// The paper's default parameters (Table 2): eps = eps_over_d * d,
-/// MinPts = 10, rho = 0.001 for approximate methods (forced to 0 for the
-/// exact ones inside MakeMethod).
-DbscanParams PaperParams(int dim, double eps_over_d = 100.0,
-                         double rho = 0.001);
+/// The method factory (MakeMethod / PaperParams) lives in
+/// core/method_registry.h and the table / JSON reporting in
+/// telemetry/report.h — both shared with tools/ddc_driver. What remains
+/// here is the figure-bench glue: the paper workload preset, the
+/// run-one-pair helper, and the shared flag defaults.
 
 /// A Section 8.1 workload: N updates at the given insertion fraction, one
 /// C-group-by query (|Q| ~ U[2,100]) every `query_every` updates.
@@ -38,22 +28,6 @@ Workload PaperWorkload(int dim, int64_t n, double ins_fraction,
 RunStats RunMethod(const std::string& method, const DbscanParams& params,
                    const Workload& workload, double budget_seconds,
                    int checkpoints = 10);
-
-/// Formats a cost cell; "TIMEOUT(>x)" when the run did not finish.
-std::string Cell(const RunStats& stats, double value);
-
-/// Prints the per-checkpoint avgcost / maxupdcost series of several
-/// finished runs (one row per method), in the style of Figures 8/9/12/13.
-void PrintSeries(const std::string& title,
-                 const std::vector<std::string>& method_names,
-                 const std::vector<RunStats>& runs);
-
-/// Prints a parameter-sweep table (one row per x value, one column per
-/// method, cell = average workload cost), in the style of Figures 10/11/14/15.
-void PrintSweep(const std::string& title, const std::string& x_label,
-                const std::vector<std::string>& x_values,
-                const std::vector<std::string>& method_names,
-                const std::vector<std::vector<RunStats>>& cells);
 
 /// Shared flag defaults for the figure benches.
 struct BenchConfig {

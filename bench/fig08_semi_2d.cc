@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
 
   const ddc::Workload w = ddc::bench::PaperWorkload(
       dim, config.n, /*ins_fraction=*/1.0, config.query_every, config.seed);
-  const ddc::DbscanParams params = ddc::bench::PaperParams(dim);
+  const ddc::DbscanParams params = ddc::PaperParams(dim);
 
   const std::vector<std::string> methods = {"2d-semi-exact", "semi-approx",
                                             "inc-dbscan"};
@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
     runs.push_back(
         ddc::bench::RunMethod(m, params, w, config.budget_seconds));
   }
-  ddc::bench::PrintSeries("Figure 8: semi-dynamic, d=2, insertion-only",
-                          methods, runs);
+  ddc::PrintSeries("Figure 8: semi-dynamic, d=2, insertion-only", methods,
+                   runs);
   return 0;
 }

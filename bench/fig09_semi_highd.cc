@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   for (const int dim : dims) {
     const ddc::Workload w = ddc::bench::PaperWorkload(
         dim, config.n, /*ins_fraction=*/1.0, config.query_every, config.seed);
-    const ddc::DbscanParams params = ddc::bench::PaperParams(dim);
+    const ddc::DbscanParams params = ddc::PaperParams(dim);
 
     const std::vector<std::string> methods = {"semi-approx", "inc-dbscan"};
     std::vector<ddc::RunStats> runs;
@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
     }
     std::ostringstream title;
     title << "Figure 9 (" << dim << "D): semi-dynamic, insertion-only";
-    ddc::bench::PrintSeries(title.str(), methods, runs);
+    ddc::PrintSeries(title.str(), methods, runs);
   }
   return 0;
 }

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
     for (const double e : eps_over_d) {
       std::printf("[fig10] d=%d eps/d=%.0f...\n", dim, e);
       std::fflush(stdout);
-      const ddc::DbscanParams params = ddc::bench::PaperParams(dim, e);
+      const ddc::DbscanParams params = ddc::PaperParams(dim, e);
       std::vector<ddc::RunStats> row;
       for (const auto& m : methods) {
         row.push_back(
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
     }
     std::ostringstream title;
     title << "Figure 10 (" << dim << "D): semi-dynamic cost vs eps/d";
-    ddc::bench::PrintSweep(title.str(), "eps/d", x_values, methods, cells);
+    ddc::PrintSweep(title.str(), "eps/d", x_values, methods, cells);
   }
   return 0;
 }

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   for (std::string tok; std::getline(ss, tok, ',');) dims.push_back(std::stoi(tok));
 
   for (const int dim : dims) {
-    const ddc::DbscanParams params = ddc::bench::PaperParams(dim);
+    const ddc::DbscanParams params = ddc::PaperParams(dim);
     const std::vector<std::string> methods =
         dim == 2 ? std::vector<std::string>{"2d-semi-exact", "semi-approx",
                                             "inc-dbscan"}
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
     }
     std::ostringstream title;
     title << "Figure 11 (" << dim << "D): semi-dynamic cost vs query frequency";
-    ddc::bench::PrintSweep(title.str(), "fqry", x_values, methods, cells);
+    ddc::PrintSweep(title.str(), "fqry", x_values, methods, cells);
   }
   return 0;
 }

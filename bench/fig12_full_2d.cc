@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
 
   const ddc::Workload w = ddc::bench::PaperWorkload(
       dim, config.n, ins, config.query_every, config.seed);
-  const ddc::DbscanParams params = ddc::bench::PaperParams(dim);
+  const ddc::DbscanParams params = ddc::PaperParams(dim);
 
   const std::vector<std::string> methods = {"2d-full-exact", "double-approx",
                                             "inc-dbscan"};
@@ -28,7 +28,6 @@ int main(int argc, char** argv) {
     runs.push_back(
         ddc::bench::RunMethod(m, params, w, config.budget_seconds));
   }
-  ddc::bench::PrintSeries("Figure 12: fully-dynamic, d=2, ins=5/6", methods,
-                          runs);
+  ddc::PrintSeries("Figure 12: fully-dynamic, d=2, ins=5/6", methods, runs);
   return 0;
 }

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   for (const int dim : dims) {
     const ddc::Workload w = ddc::bench::PaperWorkload(
         dim, config.n, ins, config.query_every, config.seed);
-    const ddc::DbscanParams params = ddc::bench::PaperParams(dim);
+    const ddc::DbscanParams params = ddc::PaperParams(dim);
 
     const std::vector<std::string> methods = {"double-approx", "inc-dbscan"};
     std::vector<ddc::RunStats> runs;
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     }
     std::ostringstream title;
     title << "Figure 13 (" << dim << "D): fully-dynamic, ins=5/6";
-    ddc::bench::PrintSeries(title.str(), methods, runs);
+    ddc::PrintSeries(title.str(), methods, runs);
   }
   return 0;
 }

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   for (std::string tok; std::getline(ss, tok, ',');) dims.push_back(std::stoi(tok));
 
   for (const int dim : dims) {
-    const ddc::DbscanParams params = ddc::bench::PaperParams(dim);
+    const ddc::DbscanParams params = ddc::PaperParams(dim);
     const std::vector<std::string> methods =
         dim == 2 ? std::vector<std::string>{"2d-full-exact", "double-approx",
                                             "inc-dbscan"}
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     }
     std::ostringstream title;
     title << "Figure 15 (" << dim << "D): fully-dynamic cost vs %ins";
-    ddc::bench::PrintSweep(title.str(), "%ins", x_values, methods, cells);
+    ddc::PrintSweep(title.str(), "%ins", x_values, methods, cells);
   }
   return 0;
 }

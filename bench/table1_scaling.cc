@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   std::stringstream ss(flags.GetString("sizes", "12500,25000,50000,100000"));
   for (std::string tok; std::getline(ss, tok, ',');) sizes.push_back(std::stoll(tok));
 
-  const ddc::DbscanParams params = ddc::bench::PaperParams(dim);
+  const ddc::DbscanParams params = ddc::PaperParams(dim);
   struct Scheme {
     const char* title;
     const char* method;

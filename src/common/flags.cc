@@ -49,4 +49,23 @@ bool Flags::Has(const std::string& name) const {
   return values_.count(name) > 0;
 }
 
+std::vector<std::pair<std::string, std::string>> ParseKeyValueList(
+    const std::string& list) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  if (list.empty()) return entries;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string item = list.substr(start, comma - start);
+    DDC_CHECK(!item.empty() && "empty item in key=value list");
+    const size_t eq = item.find('=');
+    DDC_CHECK(eq != std::string::npos && "key=value item missing '='");
+    DDC_CHECK(eq > 0 && "empty key in key=value list");
+    entries.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+    start = comma + 1;
+  }
+  return entries;
+}
+
 }  // namespace ddc

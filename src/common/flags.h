@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace ddc {
 
@@ -28,6 +30,14 @@ class Flags {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Parses a comma-separated `key=value` sublist — the payload of compound
+/// flag values like `--scenario=burst:n=200000,dup=0.3`. Keys keep document
+/// order (duplicates allowed; consumers decide). The empty string yields an
+/// empty list; an empty item, an empty key, or an item without '=' aborts
+/// via DDC_CHECK with the offending item in the message.
+std::vector<std::pair<std::string, std::string>> ParseKeyValueList(
+    const std::string& list);
 
 }  // namespace ddc
 

@@ -1,0 +1,353 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace ddc {
+
+// ---------------------------------------------------------------------------
+// Writer.
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.emplace_back('O', false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  DDC_CHECK(!stack_.empty() && stack_.back().first == 'O' && !after_key_);
+  stack_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.emplace_back('A', false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  DDC_CHECK(!stack_.empty() && stack_.back().first == 'A');
+  stack_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  DDC_CHECK(!stack_.empty() && stack_.back().first == 'O' && !after_key_);
+  if (stack_.back().second) out_ += ',';
+  stack_.back().second = true;
+  AppendEscaped(out_, name);
+  out_ += ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view v) {
+  BeforeValue();
+  AppendEscaped(out_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t v) {
+  BeforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double v) {
+  if (!std::isfinite(v)) return Null();
+  BeforeValue();
+  // Shortest representation that round-trips; always valid JSON (to_chars
+  // never produces a leading '+' or a bare '.').
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, res.ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  BeforeValue();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  DDC_CHECK(wrote_top_value_ && stack_.empty() && !after_key_);
+  return out_;
+}
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) {
+    // First (and only) top-level value.
+    DDC_CHECK(!wrote_top_value_ && "top-level value already complete");
+    wrote_top_value_ = true;
+    return;
+  }
+  DDC_CHECK(stack_.back().first == 'A' && "object members need Key() first");
+  if (stack_.back().second) out_ += ',';
+  stack_.back().second = true;
+}
+
+void JsonWriter::AppendEscaped(std::string& out, std::string_view v) {
+  out += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view with a cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue& out, std::string* error) {
+    bool ok = ParseValue(out) && (SkipWhitespace(), pos_ == text_.size());
+    if (!ok && error != nullptr) {
+      *error = error_.empty() ? "trailing garbage" : error_;
+      *error += " at offset " + std::to_string(pos_);
+    }
+    return ok;
+  }
+
+ private:
+  bool Fail(const char* why) {
+    if (error_.empty()) error_ = why;
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return Fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue& out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n': out.type = JsonValue::Type::kNull; return Literal("null");
+      case 't':
+        out.type = JsonValue::Type::kBool;
+        out.bool_value = true;
+        return Literal("true");
+      case 'f':
+        out.type = JsonValue::Type::kBool;
+        out.bool_value = false;
+        return Literal("false");
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return ParseString(out.string_value);
+      case '[': return ParseArray(out);
+      case '{': return ParseObject(out);
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseArray(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') return ++pos_, true;
+    for (;;) {
+      if (!ParseValue(out.items.emplace_back())) return false;
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ']') return ++pos_, true;
+      if (text_[pos_] != ',') return Fail("expected ',' or ']'");
+      ++pos_;
+    }
+  }
+
+  bool ParseObject(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') return ++pos_, true;
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      auto& [key, value] = out.members.emplace_back();
+      if (!ParseString(key)) return false;
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      if (!ParseValue(value)) return false;
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == '}') return ++pos_, true;
+      if (text_[pos_] != ',') return Fail("expected ',' or '}'");
+      ++pos_;
+    }
+  }
+
+  bool ParseString(std::string& out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') return ++pos_, true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      if (++pos_ >= text_.size()) return Fail("dangling escape");
+      switch (text_[pos_++]) {
+        case '"':  out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/':  out += '/'; break;
+        case 'b':  out += '\b'; break;
+        case 'f':  out += '\f'; break;
+        case 'n':  out += '\n'; break;
+        case 'r':  out += '\r'; break;
+        case 't':  out += '\t'; break;
+        case 'u': {
+          uint32_t cp;
+          if (!ParseHex4(cp)) return false;
+          // Surrogate pair -> one astral code point.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (text_.substr(pos_, 2) != "\\u") return Fail("lone surrogate");
+            pos_ += 2;
+            uint32_t lo;
+            if (!ParseHex4(lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) return Fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("lone surrogate");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default: return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseHex4(uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') out |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') out |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') out |= static_cast<uint32_t>(c - 'A' + 10);
+      else return Fail("bad hex digit");
+    }
+    return true;
+  }
+
+  static void AppendUtf8(std::string& out, uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool ParseNumber(JsonValue& out) {
+    out.type = JsonValue::Type::kNumber;
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const auto res = std::from_chars(text_.data() + start, text_.data() + pos_,
+                                     out.number_value);
+    if (res.ec != std::errc() || res.ptr != text_.data() + pos_ ||
+        pos_ == start) {
+      return Fail("bad number");
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> JsonParse(std::string_view text, std::string* error) {
+  JsonValue value;
+  if (!Parser(text).Parse(value, error)) return std::nullopt;
+  return value;
+}
+
+}  // namespace ddc

@@ -1,0 +1,78 @@
+#ifndef DDC_COMMON_JSON_H_
+#define DDC_COMMON_JSON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ddc {
+
+/// Streaming JSON writer used by the telemetry reports and `ddc_driver`'s
+/// BENCH output. Commas are inserted automatically; strings are escaped per
+/// RFC 8259 (quote, backslash, and control characters; other bytes pass
+/// through, so UTF-8 input stays UTF-8). Non-finite doubles become `null`,
+/// which keeps every emitted document strictly parseable.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Starts an object member; must be followed by exactly one value (or
+  /// container). Aborts when not inside an object.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& String(std::string_view v);
+  JsonWriter& Int(int64_t v);
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+
+  /// The document so far. Aborts unless every container has been closed and
+  /// exactly one top-level value was written.
+  const std::string& str() const;
+
+  /// Appends `"..."` with escaping to `out` — the escaping core, exposed for
+  /// reuse and tests.
+  static void AppendEscaped(std::string& out, std::string_view v);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One frame per open container: 'O' / 'A', plus whether it has members.
+  std::vector<std::pair<char, bool>> stack_;
+  bool after_key_ = false;
+  bool wrote_top_value_ = false;
+};
+
+/// Minimal parsed JSON value (null / bool / number / string / array /
+/// object). Numbers are doubles — ample for telemetry payloads; object
+/// members keep document order.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+  std::vector<JsonValue> items;                              // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;    // kObject
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Returns nullopt on malformed input; when `error`
+/// is non-null it receives a short description with the byte offset.
+std::optional<JsonValue> JsonParse(std::string_view text,
+                                   std::string* error = nullptr);
+
+}  // namespace ddc
+
+#endif  // DDC_COMMON_JSON_H_

@@ -1,0 +1,60 @@
+#include "core/method_registry.h"
+
+#include "common/check.h"
+#include "core/fully_dynamic_clusterer.h"
+#include "core/incremental_dbscan.h"
+#include "core/semi_dynamic_clusterer.h"
+
+namespace ddc {
+
+std::unique_ptr<Clusterer> MakeMethod(const std::string& name,
+                                      DbscanParams params) {
+  params = EffectiveParams(name, params);
+  if (name == "2d-semi-exact" || name == "semi-approx") {
+    return std::make_unique<SemiDynamicClusterer>(params);
+  }
+  if (name == "2d-full-exact" || name == "double-approx") {
+    return std::make_unique<FullyDynamicClusterer>(params);
+  }
+  if (name == "inc-dbscan") {
+    return std::make_unique<IncrementalDbscan>(params);
+  }
+  DDC_CHECK(false && "unknown method");
+  return nullptr;
+}
+
+DbscanParams EffectiveParams(const std::string& name, DbscanParams params) {
+  if (name == "2d-semi-exact" || name == "2d-full-exact" ||
+      name == "inc-dbscan") {
+    params.rho = 0;
+  }
+  return params;
+}
+
+const std::vector<std::string>& MethodNames() {
+  static const std::vector<std::string>* const names =
+      new std::vector<std::string>{"2d-semi-exact", "semi-approx",
+                                   "2d-full-exact", "double-approx",
+                                   "inc-dbscan"};
+  return *names;
+}
+
+bool IsMethod(const std::string& name) {
+  for (const std::string& m : MethodNames()) {
+    if (m == name) return true;
+  }
+  return false;
+}
+
+bool MethodSupportsDeletes(const std::string& name) {
+  return name != "2d-semi-exact" && name != "semi-approx";
+}
+
+DbscanParams PaperParams(int dim, double eps_over_d, double rho) {
+  return DbscanParams{.dim = dim,
+                      .eps = eps_over_d * dim,
+                      .min_pts = 10,
+                      .rho = rho};
+}
+
+}  // namespace ddc

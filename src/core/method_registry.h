@@ -1,0 +1,48 @@
+#ifndef DDC_CORE_METHOD_REGISTRY_H_
+#define DDC_CORE_METHOD_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/clusterer.h"
+#include "core/params.h"
+
+namespace ddc {
+
+/// Name-keyed factory over the five algorithm configurations of Section
+/// 8.1's evaluation, shared by the figure benches and `ddc_driver`:
+///   "2d-semi-exact"  — Theorem 1 with rho = 0 (exact DBSCAN, insert-only)
+///   "semi-approx"    — Theorem 1, ρ-approximate, insert-only
+///   "2d-full-exact"  — Theorem 4 with rho = 0 (exact DBSCAN, fully dynamic)
+///   "double-approx"  — Theorem 4, ρ-double-approximate, fully dynamic
+///   "inc-dbscan"     — the IncDBSCAN baseline [8]
+/// Exact methods force rho to 0 regardless of `params.rho`. Aborts on an
+/// unknown name (use FindMethod/MethodNames to probe first).
+std::unique_ptr<Clusterer> MakeMethod(const std::string& name,
+                                      DbscanParams params);
+
+/// All registered method names, in the order above.
+const std::vector<std::string>& MethodNames();
+
+/// True when `name` is registered.
+bool IsMethod(const std::string& name);
+
+/// False for the semi-dynamic (insertion-only) methods, whose Delete
+/// aborts; drivers skip those on workloads containing deletions.
+bool MethodSupportsDeletes(const std::string& name);
+
+/// The parameters `name` actually runs with: identical to `params` except
+/// that exact methods force rho to 0. MakeMethod applies this itself;
+/// reporting code uses it so recorded provenance matches the executed run.
+DbscanParams EffectiveParams(const std::string& name, DbscanParams params);
+
+/// The paper's default parameters (Table 2): eps = eps_over_d * d,
+/// MinPts = 10, rho = 0.001 for approximate methods (forced to 0 for the
+/// exact ones inside MakeMethod).
+DbscanParams PaperParams(int dim, double eps_over_d = 100.0,
+                         double rho = 0.001);
+
+}  // namespace ddc
+
+#endif  // DDC_CORE_METHOD_REGISTRY_H_

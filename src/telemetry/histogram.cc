@@ -1,0 +1,63 @@
+#include "telemetry/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ddc {
+
+void LatencyHistogram::Record(double value) {
+  ++counts_[BucketIndex(value)];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count_))));
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) return std::min(BucketUpperEdge(i), max_);
+  }
+  return max_;  // Unreachable: every sample is in some bucket.
+}
+
+int LatencyHistogram::BucketIndex(double value) {
+  if (!(value > kMinValue)) return 0;  // Also catches NaN and negatives.
+  const double octaves = std::log2(value / kMinValue);
+  const int bucket =
+      static_cast<int>(std::ceil(octaves * kBucketsPerOctave - 1e-9));
+  return std::clamp(bucket, 0, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketUpperEdge(int bucket) {
+  DDC_CHECK(bucket >= 0 && bucket < kNumBuckets);
+  return kMinValue *
+         std::exp2(static_cast<double>(bucket) / kBucketsPerOctave);
+}
+
+}  // namespace ddc

@@ -1,0 +1,60 @@
+#ifndef DDC_TELEMETRY_HISTOGRAM_H_
+#define DDC_TELEMETRY_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace ddc {
+
+/// Log-bucketed latency histogram (HDR-style): fixed buckets at geometric
+/// spacing of 2^(1/8) (≈ 9% relative width), covering 1 ns .. ~1 hour when
+/// values are microseconds. Recording is O(1) with no allocation, so the
+/// workload runner can call it inside the measurement loop; quantiles come
+/// back with ≤ one bucket (≈ 9%) of relative error, exact count/sum/min/max.
+class LatencyHistogram {
+ public:
+  /// Buckets per doubling of the value.
+  static constexpr int kBucketsPerOctave = 8;
+  /// Upper edge of bucket 0; with microsecond samples this is 1 ns.
+  static constexpr double kMinValue = 1e-3;
+  /// 42 octaves above kMinValue: bucket 335 tops out near 4.4e9 us.
+  static constexpr int kNumBuckets = 336;
+
+  /// Records one sample. Values <= kMinValue (including zero) land in
+  /// bucket 0; values beyond the last bucket clamp into it. Exact sum, min
+  /// and max are kept regardless of bucketing.
+  void Record(double value);
+
+  /// Folds another histogram into this one.
+  void MergeFrom(const LatencyHistogram& other);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double max() const { return count_ > 0 ? max_ : 0; }
+  double min() const { return count_ > 0 ? min_ : 0; }
+  double mean() const { return count_ > 0 ? sum_ / count_ : 0; }
+
+  /// The q-quantile (q in [0, 1], clamped): the upper edge of the bucket
+  /// holding the ceil(q * count)-th smallest sample, capped at the exact
+  /// recorded maximum. 0 when empty.
+  double Quantile(double q) const;
+
+  /// Bucket `value` falls into — bucket i covers (UpperEdge(i-1),
+  /// UpperEdge(i)]. Exposed so tests can assert quantile semantics exactly.
+  static int BucketIndex(double value);
+  static double BucketUpperEdge(int bucket);
+
+  /// Raw count of one bucket (tests, serializers).
+  int64_t bucket_count(int bucket) const { return counts_[bucket]; }
+
+ private:
+  std::array<int64_t, kNumBuckets> counts_{};
+  int64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_TELEMETRY_HISTOGRAM_H_

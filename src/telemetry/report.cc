@@ -1,0 +1,223 @@
+#include "telemetry/report.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace ddc {
+
+std::string CostCell(const RunStats& stats, double value) {
+  // The paper terminated IncDBSCAN after 3 hours in 5D/7D; a timed-out run
+  // is reported the same way rather than with a misleading partial average.
+  if (stats.timed_out) return "TIMEOUT";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", value);
+  return buf;
+}
+
+void PrintSeries(const std::string& title,
+                 const std::vector<std::string>& method_names,
+                 const std::vector<RunStats>& runs) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  DDC_CHECK(method_names.size() == runs.size());
+
+  // Checkpoint header from the longest finished run.
+  size_t ref = 0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].checkpoint_ops.size() > runs[ref].checkpoint_ops.size()) {
+      ref = i;
+    }
+  }
+  std::printf("%-16s", "ops:");
+  for (const int64_t t : runs[ref].checkpoint_ops) {
+    std::printf("%12lld", static_cast<long long>(t));
+  }
+  std::printf("\n-- average cost per operation (microsec) --\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    std::printf("%-16s", method_names[i].c_str());
+    for (const double v : runs[i].avg_cost_us) std::printf("%12.2f", v);
+    if (runs[i].timed_out) std::printf("   [TIMEOUT]");
+    std::printf("\n");
+  }
+  std::printf("-- maximum update cost (microsec) --\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    std::printf("%-16s", method_names[i].c_str());
+    for (const double v : runs[i].max_upd_cost_us) std::printf("%12.1f", v);
+    if (runs[i].timed_out) std::printf("   [TIMEOUT]");
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+void PrintSweep(const std::string& title, const std::string& x_label,
+                const std::vector<std::string>& x_values,
+                const std::vector<std::string>& method_names,
+                const std::vector<std::vector<RunStats>>& cells) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("-- average workload cost (microsec) --\n");
+  std::printf("%-14s", x_label.c_str());
+  for (const auto& m : method_names) std::printf("%16s", m.c_str());
+  std::printf("\n");
+  for (size_t r = 0; r < x_values.size(); ++r) {
+    std::printf("%-14s", x_values[r].c_str());
+    for (size_t c = 0; c < method_names.size(); ++c) {
+      const RunStats& s = cells[r][c];
+      std::printf("%16s", CostCell(s, s.avg_workload_cost_us).c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+void WriteLatencySummary(JsonWriter& w, const LatencyHistogram& h) {
+  w.BeginObject();
+  w.Key("count").Int(h.count());
+  w.Key("mean").Double(h.mean());
+  w.Key("p50").Double(h.Quantile(0.5));
+  w.Key("p90").Double(h.Quantile(0.9));
+  w.Key("p99").Double(h.Quantile(0.99));
+  w.Key("p999").Double(h.Quantile(0.999));
+  w.Key("max").Double(h.max());
+  w.EndObject();
+}
+
+std::string BenchJson(const BenchRecord& record) {
+  DDC_CHECK(record.workload != nullptr && record.stats != nullptr);
+  const Workload& w = *record.workload;
+  const RunStats& s = *record.stats;
+
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("schema_version").Int(kBenchSchemaVersion);
+  j.Key("tool").String("ddc_driver");
+  j.Key("scenario").String(record.scenario);
+  j.Key("scenario_spec").String(record.scenario_spec);
+  j.Key("method").String(record.method);
+  j.Key("seed").Int(static_cast<int64_t>(record.seed));
+
+  j.Key("params").BeginObject();
+  j.Key("dim").Int(record.params.dim);
+  j.Key("eps").Double(record.params.eps);
+  j.Key("min_pts").Int(record.params.min_pts);
+  j.Key("rho").Double(record.params.rho);
+  j.EndObject();
+
+  j.Key("workload").BeginObject();
+  j.Key("num_updates").Int(w.num_updates);
+  j.Key("num_inserts").Int(w.num_inserts);
+  j.Key("num_deletes").Int(w.num_deletes);
+  j.Key("num_queries").Int(w.num_queries);
+  j.Key("num_ops").Int(static_cast<int64_t>(w.ops.size()));
+  j.EndObject();
+
+  j.Key("run").BeginObject();
+  j.Key("ops_executed").Int(s.ops_executed);
+  j.Key("updates_executed").Int(s.updates_executed);
+  j.Key("queries_executed").Int(s.queries_executed);
+  j.Key("total_seconds").Double(s.total_seconds);
+  j.Key("throughput_ops_per_sec")
+      .Double(s.total_seconds > 0
+                  ? static_cast<double>(s.ops_executed) / s.total_seconds
+                  : 0);
+  j.Key("timed_out").Bool(s.timed_out);
+  j.Key("avg_workload_cost_us").Double(s.avg_workload_cost_us);
+  j.Key("avg_update_cost_us").Double(s.avg_update_cost_us);
+  j.Key("avg_query_cost_us").Double(s.avg_query_cost_us);
+  j.Key("max_update_cost_us").Double(s.max_update_cost_us);
+  j.Key("peak_rss_bytes").Int(record.peak_rss_bytes);
+  j.EndObject();
+
+  j.Key("latency_us").BeginObject();
+  j.Key("insert");
+  WriteLatencySummary(j, s.insert_latency_us);
+  j.Key("delete");
+  WriteLatencySummary(j, s.delete_latency_us);
+  j.Key("query");
+  WriteLatencySummary(j, s.query_latency_us);
+  j.EndObject();
+
+  j.Key("checkpoints").BeginObject();
+  j.Key("ops").BeginArray();
+  for (const int64_t t : s.checkpoint_ops) j.Int(t);
+  j.EndArray();
+  j.Key("avg_cost_us").BeginArray();
+  for (const double v : s.avg_cost_us) j.Double(v);
+  j.EndArray();
+  j.Key("max_upd_cost_us").BeginArray();
+  for (const double v : s.max_upd_cost_us) j.Double(v);
+  j.EndArray();
+  j.EndObject();
+
+  j.EndObject();
+  return j.str();
+}
+
+bool ValidateBenchJson(const std::string& json, std::string* why) {
+  auto fail = [why](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  std::string parse_error;
+  const std::optional<JsonValue> doc = JsonParse(json, &parse_error);
+  if (!doc.has_value()) return fail("not parseable: " + parse_error);
+  if (doc->type != JsonValue::Type::kObject) return fail("not an object");
+
+  const JsonValue* version = doc->Find("schema_version");
+  if (version == nullptr || version->type != JsonValue::Type::kNumber) {
+    return fail("missing schema_version");
+  }
+  if (static_cast<int>(version->number_value) != kBenchSchemaVersion) {
+    return fail("unexpected schema_version");
+  }
+  for (const char* key : {"tool", "scenario", "scenario_spec", "method"}) {
+    const JsonValue* v = doc->Find(key);
+    if (v == nullptr || v->type != JsonValue::Type::kString) {
+      return fail(std::string("missing string key '") + key + "'");
+    }
+  }
+  for (const char* key : {"params", "workload", "run", "latency_us",
+                          "checkpoints"}) {
+    const JsonValue* v = doc->Find(key);
+    if (v == nullptr || v->type != JsonValue::Type::kObject) {
+      return fail(std::string("missing object key '") + key + "'");
+    }
+  }
+  const JsonValue* run = doc->Find("run");
+  for (const char* key :
+       {"ops_executed", "total_seconds", "throughput_ops_per_sec",
+        "avg_workload_cost_us", "max_update_cost_us", "peak_rss_bytes"}) {
+    const JsonValue* v = run->Find(key);
+    if (v == nullptr || v->type != JsonValue::Type::kNumber) {
+      return fail(std::string("run missing numeric key '") + key + "'");
+    }
+  }
+  const JsonValue* timed_out = run->Find("timed_out");
+  if (timed_out == nullptr || timed_out->type != JsonValue::Type::kBool) {
+    return fail("run missing bool key 'timed_out'");
+  }
+  const JsonValue* latency = doc->Find("latency_us");
+  for (const char* op : {"insert", "delete", "query"}) {
+    const JsonValue* h = latency->Find(op);
+    if (h == nullptr || h->type != JsonValue::Type::kObject) {
+      return fail(std::string("latency_us missing op '") + op + "'");
+    }
+    for (const char* key : {"count", "mean", "p50", "p90", "p99", "p999",
+                            "max"}) {
+      const JsonValue* v = h->Find(key);
+      if (v == nullptr || v->type != JsonValue::Type::kNumber) {
+        return fail(std::string("latency_us.") + op + " missing '" + key +
+                    "'");
+      }
+    }
+  }
+  const JsonValue* checkpoints = doc->Find("checkpoints");
+  for (const char* key : {"ops", "avg_cost_us", "max_upd_cost_us"}) {
+    const JsonValue* v = checkpoints->Find(key);
+    if (v == nullptr || v->type != JsonValue::Type::kArray) {
+      return fail(std::string("checkpoints missing array '") + key + "'");
+    }
+  }
+  return true;
+}
+
+}  // namespace ddc

@@ -1,0 +1,74 @@
+#ifndef DDC_TELEMETRY_REPORT_H_
+#define DDC_TELEMETRY_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "core/params.h"
+#include "telemetry/histogram.h"
+#include "workload/runner.h"
+#include "workload/workload.h"
+
+namespace ddc {
+
+/// Shared run-report rendering for the figure benches and `ddc_driver`:
+/// the human-readable tables the paper reproductions print, and the
+/// machine-readable BENCH JSON that seeds the repo's perf trajectory.
+
+/// Formats a cost cell ("TIMEOUT" when the run did not finish). Named to
+/// avoid colliding with the grid Cell type in unqualified ddc:: scope.
+std::string CostCell(const RunStats& stats, double value);
+
+/// Prints the per-checkpoint avgcost / maxupdcost series of several
+/// finished runs (one row per method), in the style of Figures 8/9/12/13.
+void PrintSeries(const std::string& title,
+                 const std::vector<std::string>& method_names,
+                 const std::vector<RunStats>& runs);
+
+/// Prints a parameter-sweep table (one row per x value, one column per
+/// method, cell = average workload cost), in the style of Figures 10/11/14/15.
+void PrintSweep(const std::string& title, const std::string& x_label,
+                const std::vector<std::string>& x_values,
+                const std::vector<std::string>& method_names,
+                const std::vector<std::vector<RunStats>>& cells);
+
+/// Writes `{"count":..,"mean":..,"p50":..,"p90":..,"p99":..,"p999":..,
+/// "max":..}` (microseconds) as the next value of `w`.
+void WriteLatencySummary(JsonWriter& w, const LatencyHistogram& h);
+
+/// Everything identifying one (scenario, method) bench run. The caller owns
+/// all measurement: `params` should be the parameters the run actually
+/// executed with (EffectiveParams) and `peak_rss_bytes` the caller's RSS
+/// capture (0 = unknown) — BenchJson renders, it does not sample state.
+struct BenchRecord {
+  std::string scenario;       // Registry name, e.g. "burst".
+  std::string scenario_spec;  // Full spec string, e.g. "burst:n=1000".
+  std::string method;
+  DbscanParams params;
+  uint64_t seed = 0;
+  int64_t peak_rss_bytes = 0;
+  const Workload* workload = nullptr;
+  const RunStats* stats = nullptr;
+};
+
+/// Version of the BENCH JSON schema below. Bump on any breaking change to
+/// field names, nesting, or units.
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Renders the schema-stable BENCH document: schema_version, scenario,
+/// method, params, workload shape, run aggregates (throughput, timed_out,
+/// peak RSS), per-op-type latency quantiles, and the checkpoint series.
+/// All durations are microseconds unless the key says otherwise.
+std::string BenchJson(const BenchRecord& record);
+
+/// Structural check of a BENCH document: parses and verifies the
+/// schema_version and every required key. `ddc_driver` runs this on its own
+/// output before writing, so an emitted file is a validated file. On
+/// failure returns false and describes the problem in `*why`.
+bool ValidateBenchJson(const std::string& json, std::string* why);
+
+}  // namespace ddc
+
+#endif  // DDC_TELEMETRY_REPORT_H_

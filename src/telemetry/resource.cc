@@ -1,0 +1,35 @@
+#include "telemetry/resource.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ddc {
+
+int64_t PeakRssBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  long long kib = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %lld kB", &kib) == 1) break;
+  }
+  std::fclose(f);
+  return static_cast<int64_t>(kib) * 1024;
+#else
+  return 0;
+#endif
+}
+
+bool ResetPeakRss() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+#else
+  return false;
+#endif
+}
+
+}  // namespace ddc

@@ -1,0 +1,21 @@
+#ifndef DDC_TELEMETRY_RESOURCE_H_
+#define DDC_TELEMETRY_RESOURCE_H_
+
+#include <cstdint>
+
+namespace ddc {
+
+/// Peak resident set size of the current process in bytes (VmHWM on Linux).
+/// Returns 0 on platforms where the value is unavailable — callers must
+/// treat 0 as "unknown", not "no memory used".
+int64_t PeakRssBytes();
+
+/// Resets the peak-RSS high-water mark (writes 5 to /proc/self/clear_refs)
+/// so consecutive benchmark runs in one process report their own peaks
+/// instead of the cumulative process maximum. Returns false where
+/// unsupported — PeakRssBytes then stays monotone over the process.
+bool ResetPeakRss();
+
+}  // namespace ddc
+
+#endif  // DDC_TELEMETRY_RESOURCE_H_

@@ -26,6 +26,16 @@ RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
   const Clock::time_point run_start = Clock::now();
 
   for (const Operation& op : workload.ops) {
+    // Resolve query insertion indices to live PointIds *before* starting the
+    // clock: this loop is runner overhead, and timing it would bias
+    // avg_query_cost_us by O(|Q|) per query.
+    if (op.type == Operation::Type::kQuery) {
+      query_ids.clear();
+      for (const int64_t idx : op.query) {
+        if (id_of[idx] != kInvalidPoint) query_ids.push_back(id_of[idx]);
+      }
+    }
+
     const Clock::time_point t0 = Clock::now();
     switch (op.type) {
       case Operation::Type::kInsert:
@@ -37,10 +47,6 @@ RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
         id_of[op.target] = kInvalidPoint;
         break;
       case Operation::Type::kQuery: {
-        query_ids.clear();
-        for (const int64_t idx : op.query) {
-          if (id_of[idx] != kInvalidPoint) query_ids.push_back(id_of[idx]);
-        }
         const CGroupByResult r = clusterer.Query(query_ids);
         // Keep the optimizer honest.
         DDC_CHECK(r.groups.size() + r.noise.size() + 1 > 0);
@@ -52,6 +58,17 @@ RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
 
     total_cost_us += us;
     ++stats.ops_executed;
+    switch (op.type) {
+      case Operation::Type::kInsert:
+        stats.insert_latency_us.Record(us);
+        break;
+      case Operation::Type::kDelete:
+        stats.delete_latency_us.Record(us);
+        break;
+      case Operation::Type::kQuery:
+        stats.query_latency_us.Record(us);
+        break;
+    }
     if (op.type == Operation::Type::kQuery) {
       query_cost_us += us;
       ++stats.queries_executed;
@@ -75,6 +92,17 @@ RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
       stats.timed_out = true;
       break;
     }
+  }
+
+  // A truncated run still ends with a terminal checkpoint at ops_executed,
+  // so the series covers exactly the executed prefix.
+  if (stats.ops_executed > 0 &&
+      (stats.checkpoint_ops.empty() ||
+       stats.checkpoint_ops.back() != stats.ops_executed)) {
+    stats.checkpoint_ops.push_back(stats.ops_executed);
+    stats.avg_cost_us.push_back(total_cost_us /
+                                static_cast<double>(stats.ops_executed));
+    stats.max_upd_cost_us.push_back(stats.max_update_cost_us);
   }
 
   stats.total_seconds =

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/clusterer.h"
+#include "telemetry/histogram.h"
 #include "workload/workload.h"
 
 namespace ddc {
@@ -14,10 +15,19 @@ namespace ddc {
 /// avgcost(t) averages over all operations (updates and queries) up to t;
 /// maxupdcost(t) maximizes over updates only.
 struct RunStats {
-  /// Checkpoint positions (operation counts) and the two time series.
+  /// Checkpoint positions (operation counts) and the two time series. A run
+  /// that hits its time budget still ends with a terminal checkpoint at
+  /// ops_executed, so truncated series stay aligned with the aggregates.
   std::vector<int64_t> checkpoint_ops;
   std::vector<double> avg_cost_us;
   std::vector<double> max_upd_cost_us;
+
+  /// Full latency distributions per operation type (microseconds). Only the
+  /// clusterer call is timed — runner bookkeeping (query-id resolution,
+  /// checkpointing) stays outside the measured window.
+  LatencyHistogram insert_latency_us;
+  LatencyHistogram delete_latency_us;
+  LatencyHistogram query_latency_us;
 
   /// Final aggregates: "average workload cost" = avgcost(W).
   double avg_workload_cost_us = 0;

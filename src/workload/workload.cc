@@ -24,6 +24,8 @@ Workload BuildWorkload(const WorkloadConfig& config) {
   Rng rng(config.seed);
 
   Workload w;
+  w.dim = config.spreader.dim;
+  w.seed = config.seed;
   const int64_t inserts = static_cast<int64_t>(
       std::llround(static_cast<double>(config.num_updates) *
                    config.insert_fraction));

@@ -32,6 +32,12 @@ struct Workload {
   std::vector<Point> points;  // In insertion order.
   std::vector<Operation> ops;
 
+  /// Generation provenance: dimensionality the points were generated in
+  /// (consumers build matching DbscanParams from it) and the seed that
+  /// reproduces this workload verbatim.
+  int dim = 0;
+  uint64_t seed = 0;
+
   int64_t num_updates = 0;
   int64_t num_inserts = 0;
   int64_t num_deletes = 0;

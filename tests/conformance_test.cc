@@ -1,6 +1,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -10,6 +11,7 @@
 #include "core/incremental_dbscan.h"
 #include "core/semi_dynamic_clusterer.h"
 #include "core/static_dbscan.h"
+#include "scenario/scenario.h"
 #include "tests/test_util.h"
 #include "workload/workload.h"
 
@@ -179,6 +181,52 @@ INSTANTIATE_TEST_SUITE_P(Rho, ConformanceTest,
                                   : info.param == 0.001 ? "TinyRho"
                                                         : "WideRho";
                          });
+
+/// The scenario library runs through the same sandwich harness: every
+/// generator, tiny sizes, dim=2 so the MakeParams geometry applies, at the
+/// driver's production rho values {0, 0.001}. Correctness is
+/// geometry-independent (the oracle sees the same points), so this pins
+/// down the update-stream shapes — FIFO expiry, delete waves, bridge
+/// oscillation — against every clusterer stack.
+struct ScenarioCase {
+  const char* label;
+  const char* spec;
+};
+
+class ScenarioConformanceTest
+    : public ::testing::TestWithParam<std::tuple<ScenarioCase, double>> {};
+
+TEST_P(ScenarioConformanceTest, SandwichHoldsOnScenarioWorkload) {
+  const auto& [scenario, rho] = GetParam();
+  const Workload w = BuildScenarioWorkload(scenario.spec, 21);
+  RunConformance(w, MakeParams(rho), 120);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, ScenarioConformanceTest,
+    ::testing::Combine(
+        ::testing::Values(
+            ScenarioCase{"PaperMixed",
+                         "paper-mixed:n=360,dim=2,extent=2500,qevery=0"},
+            ScenarioCase{"SlidingWindow",
+                         "sliding-window:n=360,window=120,dim=2,extent=2500,"
+                         "qevery=0"},
+            ScenarioCase{"Burst",
+                         "burst:n=360,burst=60,dup=0.4,clusters=4,dim=2,"
+                         "extent=2500,qevery=0"},
+            ScenarioCase{"Zipf",
+                         "zipf:n=360,clusters=6,ins=0.8,dim=2,extent=2500,"
+                         "qevery=0"},
+            ScenarioCase{"Drift",
+                         "drift:n=360,clusters=4,window=120,drift=1.0,dim=2,"
+                         "extent=2500,qevery=0"},
+            ScenarioCase{"SplitMerge",
+                         "split-merge:n=360,eps=110,blob=40,dim=2,qevery=0"}),
+        ::testing::Values(0.0, 0.001)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).label) +
+             (std::get<1>(info.param) == 0.0 ? "_Exact" : "_TinyRho");
+    });
 
 }  // namespace
 }  // namespace ddc

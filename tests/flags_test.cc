@@ -108,6 +108,50 @@ TEST(FlagsDeathTest, NegativeNumberAsSpaceSeparatedValueAborts) {
   EXPECT_EQ(f.GetInt("n", 0), -5);
 }
 
+TEST(ParseKeyValueListTest, EmptyStringYieldsEmptyList) {
+  EXPECT_TRUE(ParseKeyValueList("").empty());
+}
+
+TEST(ParseKeyValueListTest, SingleAndMultipleEntries) {
+  const auto one = ParseKeyValueList("n=200000");
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].first, "n");
+  EXPECT_EQ(one[0].second, "200000");
+
+  const auto many = ParseKeyValueList("n=200000,dup=0.3,name=burst");
+  ASSERT_EQ(many.size(), 3u);
+  EXPECT_EQ(many[1].first, "dup");
+  EXPECT_EQ(many[1].second, "0.3");
+  EXPECT_EQ(many[2].second, "burst");
+}
+
+TEST(ParseKeyValueListTest, EmptyValueAndDocumentOrderKept) {
+  const auto entries = ParseKeyValueList("b=,a=1,b=2");
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, "b");
+  EXPECT_EQ(entries[0].second, "");  // Empty value is legal.
+  EXPECT_EQ(entries[1].first, "a");
+  EXPECT_EQ(entries[2].second, "2");  // Duplicates preserved, not merged.
+}
+
+TEST(ParseKeyValueListTest, ValueMayContainEquals) {
+  // Only the first '=' splits, so values like base64 payloads survive.
+  const auto entries = ParseKeyValueList("expr=a=b");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].first, "expr");
+  EXPECT_EQ(entries[0].second, "a=b");
+}
+
+TEST(ParseKeyValueListDeathTest, MalformedSpecsAbort) {
+  EXPECT_DEATH(ParseKeyValueList("novalue"), "missing '='");
+  EXPECT_DEATH(ParseKeyValueList("n=1,novalue"), "missing '='");
+  EXPECT_DEATH(ParseKeyValueList("=5"), "empty key");
+  EXPECT_DEATH(ParseKeyValueList(","), "empty item");
+  EXPECT_DEATH(ParseKeyValueList("n=1,"), "empty item");
+  EXPECT_DEATH(ParseKeyValueList(",n=1"), "empty item");
+  EXPECT_DEATH(ParseKeyValueList("n=1,,m=2"), "empty item");
+}
+
 TEST(ParamsTest, ValidateAcceptsPaperDefaults) {
   DbscanParams p{.dim = 3, .eps = 300, .min_pts = 10, .rho = 0.001};
   p.Validate();  // Must not abort.

@@ -1,0 +1,135 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/histogram.h"
+
+namespace ddc {
+namespace {
+
+using Hist = LatencyHistogram;
+
+TEST(HistogramTest, EmptyHistogram) {
+  const Hist h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0);
+  EXPECT_DOUBLE_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.min(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0);
+}
+
+TEST(HistogramTest, BucketEdgesAreGeometric) {
+  // Consecutive edges differ by exactly 2^(1/8); eight buckets per octave.
+  const double ratio = Hist::BucketUpperEdge(1) / Hist::BucketUpperEdge(0);
+  EXPECT_NEAR(ratio, std::exp2(1.0 / Hist::kBucketsPerOctave), 1e-12);
+  EXPECT_NEAR(Hist::BucketUpperEdge(Hist::kBucketsPerOctave),
+              2.0 * Hist::BucketUpperEdge(0), 1e-12);
+  EXPECT_DOUBLE_EQ(Hist::BucketUpperEdge(0), Hist::kMinValue);
+}
+
+TEST(HistogramTest, BucketIndexMapsIntoCoveringBucket) {
+  // Bucket i covers (UpperEdge(i-1), UpperEdge(i)].
+  for (const double v : {0.002, 0.5, 1.0, 3.7, 1000.0, 123456.0}) {
+    const int i = Hist::BucketIndex(v);
+    ASSERT_GE(i, 0);
+    EXPECT_LE(v, Hist::BucketUpperEdge(i) * (1 + 1e-12)) << v;
+    if (i > 0) {
+      EXPECT_GT(v, Hist::BucketUpperEdge(i - 1) * (1 - 1e-12)) << v;
+    }
+  }
+  // Tiny, zero, negative, and NaN samples land in bucket 0 instead of UB.
+  EXPECT_EQ(Hist::BucketIndex(0.0), 0);
+  EXPECT_EQ(Hist::BucketIndex(1e-9), 0);
+  EXPECT_EQ(Hist::BucketIndex(-3.0), 0);
+  EXPECT_EQ(Hist::BucketIndex(std::nan("")), 0);
+  // Absurdly large samples clamp into the last bucket.
+  EXPECT_EQ(Hist::BucketIndex(1e300), Hist::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, ExactAggregatesOnSyntheticSamples) {
+  Hist h;
+  const std::vector<double> samples = {4.0, 1.0, 9.0, 1.0, 25.0};
+  for (const double v : samples) h.Record(v);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 8.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 25.0);
+}
+
+TEST(HistogramTest, QuantileExactSemanticsOnSyntheticSamples) {
+  // Quantile(q) is defined as the upper edge of the bucket holding the
+  // ceil(q * count)-th smallest sample, capped at the exact maximum — so on
+  // known samples the expected value is computable exactly.
+  Hist h;
+  const std::vector<double> sorted = {1.0, 2.0, 4.0, 8.0, 16.0,
+                                      32.0, 64.0, 128.0, 256.0, 512.0};
+  for (const double v : sorted) h.Record(v);
+
+  auto expected = [&](double q) {
+    const int64_t rank = std::max<int64_t>(
+        1, static_cast<int64_t>(std::ceil(q * 10)));
+    const double sample = sorted[rank - 1];
+    return std::min(Hist::BucketUpperEdge(Hist::BucketIndex(sample)),
+                    h.max());
+  };
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), expected(q)) << "q=" << q;
+  }
+  // The top quantiles are capped at the true maximum, never a bucket edge
+  // beyond it.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 512.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.999), 512.0);
+}
+
+TEST(HistogramTest, QuantileRelativeErrorIsBoundedByBucketWidth) {
+  // 10k distinct samples 1..10000: every quantile must come back within one
+  // bucket width (2^(1/8) ≈ +9%) of the true order statistic.
+  Hist h;
+  for (int i = 1; i <= 10000; ++i) h.Record(static_cast<double>(i));
+  const double width = std::exp2(1.0 / Hist::kBucketsPerOctave);
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double truth = std::ceil(q * 10000);
+    const double est = h.Quantile(q);
+    EXPECT_GE(est * width, truth) << "q=" << q;
+    EXPECT_LE(est, truth * width) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, SingleValueHistogramReportsThatValueEverywhere) {
+  Hist h;
+  h.Record(7.25);
+  for (const double q : {0.0, 0.5, 1.0}) {
+    // Capped at max == the value itself (the bucket edge is above it).
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 7.25);
+  }
+}
+
+TEST(HistogramTest, MergeFromCombinesCountsAndExtremes) {
+  Hist a, b;
+  a.Record(1.0);
+  a.Record(10.0);
+  b.Record(100.0);
+  b.Record(0.5);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_DOUBLE_EQ(a.sum(), 111.5);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  EXPECT_DOUBLE_EQ(a.Quantile(1.0), 100.0);
+
+  // Merging an empty histogram is a no-op; merging into empty copies.
+  Hist empty;
+  a.MergeFrom(empty);
+  EXPECT_EQ(a.count(), 4);
+  Hist c;
+  c.MergeFrom(a);
+  EXPECT_EQ(c.count(), 4);
+  EXPECT_DOUBLE_EQ(c.min(), 0.5);
+}
+
+}  // namespace
+}  // namespace ddc

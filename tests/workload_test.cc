@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -164,6 +165,38 @@ TEST(RunnerTest, ExecutesFullWorkload) {
   EXPECT_EQ(clusterer.size(), w.num_inserts - w.num_deletes);
 }
 
+TEST(RunnerTest, PopulatesPerOpLatencyHistograms) {
+  WorkloadConfig config;
+  config.num_updates = 1200;
+  config.insert_fraction = 5.0 / 6.0;
+  config.query_every = 100;
+  config.spreader.dim = 2;
+  config.spreader.extent = 2000.0;
+  config.seed = 14;
+  const Workload w = BuildWorkload(config);
+
+  DbscanParams params{.dim = 2, .eps = 100.0, .min_pts = 10, .rho = 0.001};
+  FullyDynamicClusterer clusterer(params);
+  const RunStats stats = RunWorkload(clusterer, w, RunOptions{});
+
+  // Histogram counts tie out exactly with the executed op counts.
+  EXPECT_EQ(stats.insert_latency_us.count(), w.num_inserts);
+  EXPECT_EQ(stats.delete_latency_us.count(), w.num_deletes);
+  EXPECT_EQ(stats.query_latency_us.count(), stats.queries_executed);
+  EXPECT_EQ(stats.insert_latency_us.count() +
+                stats.delete_latency_us.count(),
+            stats.updates_executed);
+  // And with the aggregate timings: the max over both update histograms is
+  // the max update cost, the query histogram mean is the query average.
+  EXPECT_DOUBLE_EQ(std::max(stats.insert_latency_us.max(),
+                            stats.delete_latency_us.max()),
+                   stats.max_update_cost_us);
+  EXPECT_NEAR(stats.query_latency_us.mean(), stats.avg_query_cost_us, 1e-9);
+  EXPECT_GT(stats.insert_latency_us.Quantile(0.5), 0);
+  EXPECT_LE(stats.insert_latency_us.Quantile(0.5),
+            stats.insert_latency_us.Quantile(0.999));
+}
+
 TEST(RunnerTest, TimeBudgetAborts) {
   WorkloadConfig config;
   config.num_updates = 200000;
@@ -180,6 +213,14 @@ TEST(RunnerTest, TimeBudgetAborts) {
   const RunStats stats = RunWorkload(clusterer, w, options);
   EXPECT_TRUE(stats.timed_out);
   EXPECT_LT(stats.ops_executed, static_cast<int64_t>(w.ops.size()));
+
+  // A truncated run still ends with a terminal checkpoint at ops_executed,
+  // so the series covers exactly the executed prefix.
+  ASSERT_FALSE(stats.checkpoint_ops.empty());
+  EXPECT_EQ(stats.checkpoint_ops.back(), stats.ops_executed);
+  EXPECT_EQ(stats.avg_cost_us.size(), stats.checkpoint_ops.size());
+  EXPECT_EQ(stats.max_upd_cost_us.size(), stats.checkpoint_ops.size());
+  EXPECT_NEAR(stats.avg_cost_us.back(), stats.avg_workload_cost_us, 1e-9);
 }
 
 }  // namespace

@@ -1,0 +1,194 @@
+// Unified benchmark driver: runs --methods × --scenario combinations under a
+// time budget and writes one machine-readable BENCH_<scenario>_<method>.json
+// per pair — the repo's perf-trajectory format (schema_version'd; see the
+// "Benchmark driver" section of README.md).
+//
+// Usage:
+//   ddc_driver                                # all scenarios × default methods
+//   ddc_driver --scenario='burst:n=200000,dup=0.3;zipf'
+//              --methods=double-approx,inc-dbscan
+//              --rho=0.001 --minpts=10 --budget=30 --seed=1 --out-dir=bench-out
+//   ddc_driver --list                         # print the scenario library
+//
+// Flags:
+//   --scenario    ';'-separated scenario specs (grammar: name[:k=v,k=v...]).
+//                 Default: every registered scenario with default parameters.
+//   --methods     ','-separated method names from core/method_registry.h.
+//                 Default: double-approx,inc-dbscan (the fully-dynamic pair;
+//                 semi-dynamic methods are skipped on workloads with deletes).
+//   --eps         Absolute epsilon. Default: --eps-over-d (100) * dim.
+//   --minpts      MinPts (default 10).
+//   --rho         Approximation slack (default 0.001; exact methods force 0).
+//   --budget      Per-run time budget in seconds (default 30; <= 0 unlimited).
+//   --checkpoints Number of avgcost/maxupdcost checkpoints (default 10).
+//   --seed        Workload seed (default 1; a spec's seed= key wins).
+//   --out-dir     Output directory for BENCH_*.json (default ".").
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "core/method_registry.h"
+#include "scenario/scenario.h"
+#include "telemetry/report.h"
+#include "telemetry/resource.h"
+#include "workload/runner.h"
+#include "workload/workload.h"
+
+namespace {
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(sep, start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::string SpecName(const std::string& spec) {
+  return spec.substr(0, spec.find(':'));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ddc::Flags flags(argc, argv);
+
+  if (flags.GetBool("list", false)) {
+    std::printf("Scenarios (spec grammar: name[:key=value,key=value...]):\n%s",
+                ddc::ScenarioHelp().c_str());
+    std::printf("Methods:\n");
+    for (const std::string& m : ddc::MethodNames()) {
+      std::printf("  %s%s\n", m.c_str(),
+                  ddc::MethodSupportsDeletes(m) ? "" : "  (insert-only)");
+    }
+    return 0;
+  }
+
+  std::string default_scenarios;
+  for (const auto& s : ddc::AllScenarios()) {
+    if (!default_scenarios.empty()) default_scenarios += ';';
+    default_scenarios += s->name();
+  }
+  const std::vector<std::string> specs =
+      Split(flags.GetString("scenario", default_scenarios), ';');
+  const std::vector<std::string> methods =
+      Split(flags.GetString("methods", "double-approx,inc-dbscan"), ',');
+  DDC_CHECK(!specs.empty() && !methods.empty());
+  for (const std::string& m : methods) {
+    if (!ddc::IsMethod(m)) {
+      std::fprintf(stderr, "unknown method '%s' (see --list)\n", m.c_str());
+      return 1;
+    }
+  }
+
+  const double budget = flags.GetDouble("budget", 30.0);
+  const int checkpoints = static_cast<int>(flags.GetInt("checkpoints", 10));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::string out_dir = flags.GetString("out-dir", ".");
+  std::filesystem::create_directories(out_dir);
+
+  int written = 0;
+  std::set<std::string> written_paths;
+  for (const std::string& spec : specs) {
+    const ddc::Workload workload = ddc::BuildScenarioWorkload(spec, seed);
+    const std::string scenario = SpecName(spec);
+
+    ddc::DbscanParams params;
+    params.dim = workload.dim;
+    params.eps = flags.Has("eps")
+                     ? flags.GetDouble("eps", 0)
+                     : flags.GetDouble("eps-over-d", 100.0) * workload.dim;
+    params.min_pts = static_cast<int>(flags.GetInt("minpts", 10));
+    params.rho = flags.GetDouble("rho", 0.001);
+    params.Validate();
+
+    for (const std::string& method : methods) {
+      if (workload.num_deletes > 0 && !ddc::MethodSupportsDeletes(method)) {
+        std::fprintf(stderr,
+                     "[skip] %s on %s: insert-only method, workload has %lld"
+                     " deletes\n",
+                     method.c_str(), scenario.c_str(),
+                     static_cast<long long>(workload.num_deletes));
+        continue;
+      }
+      std::printf("[run ] %s on %s (N=%lld ops=%zu)...\n", method.c_str(),
+                  spec.c_str(), static_cast<long long>(workload.num_updates),
+                  workload.ops.size());
+      std::fflush(stdout);
+
+      // Best-effort HWM reset so peak_rss_bytes is per-run, not the
+      // cumulative maximum across everything this process ran before.
+      ddc::ResetPeakRss();
+      std::unique_ptr<ddc::Clusterer> clusterer =
+          ddc::MakeMethod(method, params);
+      ddc::RunOptions options;
+      options.num_checkpoints = checkpoints;
+      options.time_budget_seconds = budget;
+      const ddc::RunStats stats =
+          ddc::RunWorkload(*clusterer, workload, options);
+
+      ddc::BenchRecord record;
+      record.scenario = scenario;
+      record.scenario_spec = spec;
+      record.method = method;
+      // Provenance must match the executed run: exact methods force rho to
+      // 0, and a spec seed= key beats --seed.
+      record.params = ddc::EffectiveParams(method, params);
+      record.seed = workload.seed;
+      record.peak_rss_bytes = ddc::PeakRssBytes();
+      record.workload = &workload;
+      record.stats = &stats;
+      const std::string json = ddc::BenchJson(record);
+
+      // Never ship a document this build can't read back.
+      std::string why;
+      if (!ddc::ValidateBenchJson(json, &why)) {
+        std::fprintf(stderr, "BENCH JSON self-validation failed: %s\n",
+                     why.c_str());
+        return 1;
+      }
+
+      const std::string path =
+          out_dir + "/BENCH_" + scenario + "_" + method + ".json";
+      if (!written_paths.insert(path).second) {
+        // Filenames key on (scenario, method) only; two specs of the same
+        // scenario would silently clobber each other — refuse instead.
+        std::fprintf(stderr,
+                     "refusing to overwrite %s already written by this"
+                     " invocation; run same-name scenario specs with"
+                     " separate --out-dir\n",
+                     path.c_str());
+        return 1;
+      }
+      std::ofstream out(path, std::ios::trunc);
+      DDC_CHECK(out.good() && "cannot open output file");
+      out << json << "\n";
+      out.close();
+      DDC_CHECK(out.good() && "write failed");
+      ++written;
+
+      std::printf(
+          "[done] %s  avg=%.2fus maxupd=%.1fus thru=%.0f ops/s%s -> %s\n",
+          method.c_str(), stats.avg_workload_cost_us, stats.max_update_cost_us,
+          stats.total_seconds > 0
+              ? static_cast<double>(stats.ops_executed) / stats.total_seconds
+              : 0,
+          stats.timed_out ? " [TIMEOUT]" : "", path.c_str());
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("wrote %d BENCH file(s) to %s\n", written, out_dir.c_str());
+  return written > 0 ? 0 : 1;
+}
