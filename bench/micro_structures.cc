@@ -1,10 +1,14 @@
 // google-benchmark microbenchmarks of the individual substrates: union-find,
-// Euler-tour forests, HDT connectivity, grid maintenance, emptiness queries
-// and range counting. These are the per-operation costs the amortized
-// analyses of Theorems 1 and 4 are built from.
+// Euler-tour forests, HDT connectivity, grid maintenance, emptiness queries,
+// range counting, and the flat-hash / packed-coordinate layouts the hot
+// paths run on. These are the per-operation costs the amortized analyses of
+// Theorems 1 and 4 are built from.
 
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+
+#include "common/flat_hash.h"
 #include "common/random.h"
 #include "connectivity/hdt.h"
 #include "core/emptiness.h"
@@ -153,6 +157,167 @@ void BM_Counter_Count(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Counter_Count)->Arg(0)->Arg(1);
+
+// --- Hash-table layout: FlatHashMap vs std::unordered_map -------------------
+// The access pattern mirrors the clusterer hot paths: tables keyed by packed
+// 64-bit pair keys, a churn of inserts and erases around a steady size, and
+// lookups that mostly hit.
+
+template <typename Map>
+void HashChurn(benchmark::State& state, Map& map) {
+  const int keyspace = static_cast<int>(state.range(0));
+  Rng rng(8);
+  for (auto _ : state) {
+    const uint64_t key = rng.NextBelow(keyspace);
+    if (rng.NextBernoulli(0.5)) {
+      map[key] = static_cast<int64_t>(key);
+    } else {
+      map.erase(key);
+    }
+    benchmark::DoNotOptimize(map.find(key));
+  }
+}
+
+/// Adapter so the std container and FlatHashMap share one benchmark body.
+struct FlatMapShim {
+  FlatHashMap<uint64_t, int64_t> m;
+  int64_t& operator[](uint64_t k) { return m[k]; }
+  void erase(uint64_t k) { m.Erase(k); }
+  const int64_t* find(uint64_t k) const { return m.Find(k); }
+};
+
+void BM_FlatHashMap_Churn(benchmark::State& state) {
+  FlatMapShim map;
+  HashChurn(state, map);
+}
+BENCHMARK(BM_FlatHashMap_Churn)->Arg(1024)->Arg(65536);
+
+void BM_StdUnorderedMap_Churn(benchmark::State& state) {
+  std::unordered_map<uint64_t, int64_t> map;
+  HashChurn(state, map);
+}
+BENCHMARK(BM_StdUnorderedMap_Churn)->Arg(1024)->Arg(65536);
+
+void BM_FlatHashMap_LookupHit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  FlatHashMap<uint64_t, int64_t> map;
+  Rng rng(9);
+  for (int i = 0; i < n; ++i) map[rng.NextBelow(4 * n)] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Find(rng.NextBelow(4 * n)));
+  }
+}
+BENCHMARK(BM_FlatHashMap_LookupHit)->Arg(1024)->Arg(65536);
+
+void BM_StdUnorderedMap_LookupHit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::unordered_map<uint64_t, int64_t> map;
+  Rng rng(9);
+  for (int i = 0; i < n; ++i) map[rng.NextBelow(4 * n)] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(rng.NextBelow(4 * n)));
+  }
+}
+BENCHMARK(BM_StdUnorderedMap_LookupHit)->Arg(1024)->Arg(65536);
+
+// CellKey-keyed tables are the hot case (cell index, sub-grid buckets): the
+// key is 32 bytes, the hash is 8 mixes, and the flat table both caches the
+// hash per slot and accepts it precomputed (FindHashed) the way the grid
+// threads it through each operation.
+
+std::vector<CellKey> CellKeyPool(int n) {
+  std::vector<CellKey> keys;
+  Rng rng(12);
+  keys.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    CellKey k;
+    for (int d = 0; d < 3; ++d) {
+      k[d] = static_cast<int32_t>(rng.NextBelow(64)) - 32;
+    }
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+void BM_FlatHashMap_CellKeyLookup(benchmark::State& state) {
+  const std::vector<CellKey> keys = CellKeyPool(4096);
+  FlatHashMap<CellKey, int32_t, CellKeyHash> map;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    map[keys[i]] = static_cast<int32_t>(i);
+  }
+  Rng rng(13);
+  for (auto _ : state) {
+    const CellKey& k = keys[rng.NextBelow(keys.size())];
+    benchmark::DoNotOptimize(map.FindHashed(k.Hash(), k));
+  }
+}
+BENCHMARK(BM_FlatHashMap_CellKeyLookup);
+
+void BM_StdUnorderedMap_CellKeyLookup(benchmark::State& state) {
+  const std::vector<CellKey> keys = CellKeyPool(4096);
+  std::unordered_map<CellKey, int32_t, CellKeyHash> map;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    map[keys[i]] = static_cast<int32_t>(i);
+  }
+  Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(keys[rng.NextBelow(keys.size())]));
+  }
+}
+BENCHMARK(BM_StdUnorderedMap_CellKeyLookup);
+
+// --- ε-range scan layout: packed per-cell coords vs record indirection ------
+// BM_Grid_RangeScan is the shipping path (ForEachPointInRange streaming each
+// cell's packed coordinate array). BM_Grid_RangeScanIndirect walks the same
+// cells but fetches every candidate through grid.point(id) — the pre-overhaul
+// memory layout — to keep the cost of the pointer chase measurable.
+
+Grid& RangeScanGrid(int dim) {
+  static Grid* grids[kMaxDim + 1] = {};
+  if (grids[dim] == nullptr) {
+    grids[dim] = new Grid(dim, 100.0 * dim);
+    Rng rng(10);
+    for (int i = 0; i < 50000; ++i) {
+      Point p;
+      for (int k = 0; k < dim; ++k) p[k] = rng.NextDouble(0, 3000.0);
+      grids[dim]->Insert(p);
+    }
+  }
+  return *grids[dim];
+}
+
+void BM_Grid_RangeScan(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  Grid& grid = RangeScanGrid(dim);
+  Rng rng(11);
+  for (auto _ : state) {
+    Point q;
+    for (int k = 0; k < dim; ++k) q[k] = rng.NextDouble(0, 3000.0);
+    int64_t hits = 0;
+    grid.ForEachPointInRange(q, grid.eps(), [&](PointId) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_Grid_RangeScan)->Arg(2)->Arg(3)->Arg(7);
+
+void BM_Grid_RangeScanIndirect(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  Grid& grid = RangeScanGrid(dim);
+  const double r_sq = grid.eps() * grid.eps();
+  Rng rng(11);
+  for (auto _ : state) {
+    Point q;
+    for (int k = 0; k < dim; ++k) q[k] = rng.NextDouble(0, 3000.0);
+    int64_t hits = 0;
+    grid.ForEachNearbyCell(q, [&](CellId c) {
+      for (const PointId pid : grid.cell(c).points) {
+        if (SquaredDistance(q, grid.point(pid), dim) <= r_sq) ++hits;
+      }
+    });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_Grid_RangeScanIndirect)->Arg(2)->Arg(3)->Arg(7);
 
 }  // namespace
 }  // namespace ddc

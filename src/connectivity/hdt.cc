@@ -25,7 +25,7 @@ EulerTourForest& HdtConnectivity::Forest(int level) {
   return f;
 }
 
-std::unordered_set<int>& HdtConnectivity::NontreeSet(int level, int v) {
+FlatHashSet<int>& HdtConnectivity::NontreeSet(int level, int v) {
   return nontree_[level][v];
 }
 
@@ -38,23 +38,26 @@ void HdtConnectivity::EnsureVertices(int n) {
 
 void HdtConnectivity::AddNontree(int level, int u, int v) {
   EulerTourForest& f = Forest(level);
+  // NB: the second NontreeSet call may grow the level's adjacency table and
+  // invalidate the first reference, so each side is finished before the next
+  // lookup.
   auto& su = NontreeSet(level, u);
   const bool u_was_empty = su.empty();
-  su.insert(v);
+  su.Insert(v);
   if (u_was_empty) f.SetVertexFlag(u, true);
   auto& sv = NontreeSet(level, v);
   const bool v_was_empty = sv.empty();
-  sv.insert(u);
+  sv.Insert(u);
   if (v_was_empty) f.SetVertexFlag(v, true);
 }
 
 void HdtConnectivity::RemoveNontree(int level, int u, int v) {
   EulerTourForest& f = Forest(level);
   auto& su = NontreeSet(level, u);
-  DDC_CHECK(su.erase(v) == 1);
+  DDC_CHECK(su.Erase(v));
   if (su.empty()) f.SetVertexFlag(u, false);
   auto& sv = NontreeSet(level, v);
-  DDC_CHECK(sv.erase(u) == 1);
+  DDC_CHECK(sv.Erase(u));
   if (sv.empty()) f.SetVertexFlag(v, false);
 }
 
@@ -72,7 +75,7 @@ void HdtConnectivity::LinkTree(int u, int v, int level, EdgeInfo* info) {
 void HdtConnectivity::AddEdge(int u, int v) {
   DDC_CHECK(u != v && u >= 0 && v >= 0 && u < n_ && v < n_);
   const uint64_t key = Key(u, v);
-  DDC_CHECK(edges_.count(key) == 0);
+  DDC_CHECK(!edges_.Contains(key));
   EdgeInfo info;
   if (!forests_[0]->Connected(u, v)) {
     LinkTree(u, v, /*level=*/0, &info);
@@ -81,15 +84,15 @@ void HdtConnectivity::AddEdge(int u, int v) {
     info.level = 0;
     AddNontree(0, u, v);
   }
-  edges_.emplace(key, std::move(info));
+  edges_.Emplace(key, std::move(info));
 }
 
 void HdtConnectivity::RemoveEdge(int u, int v) {
   const uint64_t key = Key(u, v);
-  const auto it = edges_.find(key);
-  DDC_CHECK(it != edges_.end());
-  const EdgeInfo info = std::move(it->second);
-  edges_.erase(it);
+  EdgeInfo* stored = edges_.Find(key);
+  DDC_CHECK(stored != nullptr);
+  const EdgeInfo info = std::move(*stored);
+  edges_.Erase(key);
 
   if (!info.tree) {
     RemoveNontree(info.level, u, v);
@@ -116,7 +119,9 @@ void HdtConnectivity::SearchReplacement(int u, int v, int level) {
          arc = f.FindFlaggedArc(su)) {
       const int a = arc->u;
       const int b = arc->v;
-      EdgeInfo& e = edges_.at(Key(a, b));
+      EdgeInfo* found = edges_.Find(Key(a, b));
+      DDC_CHECK(found != nullptr);
+      EdgeInfo& e = *found;
       DDC_CHECK(e.tree && e.level == i);
       f.SetArcFlag(arc, false);
       e.level = i + 1;
@@ -136,13 +141,16 @@ void HdtConnectivity::SearchReplacement(int u, int v, int level) {
         // Replacement found: it becomes a tree edge at level i, restoring
         // connectivity in forests [0, i] (levels above i stay split — their
         // components legitimately shrank).
-        EdgeInfo& e = edges_.at(Key(x, y));
-        DDC_CHECK(!e.tree && e.level == i);
-        LinkTree(x, y, i, &e);
+        EdgeInfo* replacement = edges_.Find(Key(x, y));
+        DDC_CHECK(replacement != nullptr);
+        DDC_CHECK(!replacement->tree && replacement->level == i);
+        LinkTree(x, y, i, replacement);
         return;
       }
       // Both endpoints inside the small tree: push to level i+1.
-      edges_.at(Key(x, y)).level = i + 1;
+      EdgeInfo* pushed = edges_.Find(Key(x, y));
+      DDC_CHECK(pushed != nullptr);
+      pushed->level = i + 1;
       Forest(i + 1);  // Materialize before AddNontree touches its sets.
       AddNontree(i + 1, x, y);
     }

@@ -3,10 +3,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "connectivity/dynamic_connectivity.h"
 #include "connectivity/euler_tour_tree.h"
 
@@ -52,7 +51,7 @@ class HdtConnectivity : public DynamicConnectivity {
   EulerTourForest& Forest(int level);
 
   /// Adjacency sets of *non-tree* edges at `level`.
-  std::unordered_set<int>& NontreeSet(int level, int v);
+  FlatHashSet<int>& NontreeSet(int level, int v);
 
   void AddNontree(int level, int u, int v);
   void RemoveNontree(int level, int u, int v);
@@ -67,8 +66,8 @@ class HdtConnectivity : public DynamicConnectivity {
   int n_ = 0;
   std::vector<std::unique_ptr<EulerTourForest>> forests_;
   /// nontree_[level][v] — neighbors of v via non-tree edges of that level.
-  std::vector<std::unordered_map<int, std::unordered_set<int>>> nontree_;
-  std::unordered_map<uint64_t, EdgeInfo> edges_;
+  std::vector<FlatHashMap<int, FlatHashSet<int>>> nontree_;
+  FlatHashMap<uint64_t, EdgeInfo> edges_;
 };
 
 }  // namespace ddc

@@ -10,7 +10,7 @@ bool AbcpInstance::Initialize(const Grid& grid, CellCoreState& s1,
   CellCoreState* small = &s1;
   CellCoreState* big = &s2;
   bool small_is_c1 = true;
-  if (small->members.size() > big->members.size()) {
+  if (small->core_set->size() > big->core_set->size()) {
     std::swap(small, big);
     small_is_c1 = false;
   }
@@ -37,7 +37,7 @@ void AbcpInstance::Refill(const Grid& grid, CellCoreState& s1,
   while (!has_witness()) {
     if (cur1_ < s1.log.size()) {
       const PointId p = s1.log[cur1_++];
-      if (s1.members.count(p) == 0) continue;  // De-listed lazily.
+      if (!s1.core_set->Contains(p)) continue;  // De-listed lazily.
       const PointId proof = s2.core_set->Query(grid.point(p));
       if (proof != kInvalidPoint) {
         w1_ = p;
@@ -45,7 +45,7 @@ void AbcpInstance::Refill(const Grid& grid, CellCoreState& s1,
       }
     } else if (cur2_ < s2.log.size()) {
       const PointId p = s2.log[cur2_++];
-      if (s2.members.count(p) == 0) continue;
+      if (!s2.core_set->Contains(p)) continue;
       const PointId proof = s1.core_set->Query(grid.point(p));
       if (proof != kInvalidPoint) {
         w2_ = p;

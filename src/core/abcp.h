@@ -2,9 +2,9 @@
 #define DDC_CORE_ABCP_H_
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "core/emptiness.h"
 #include "geom/point.h"
 #include "grid/grid.h"
@@ -19,13 +19,21 @@ namespace ddc {
 /// point is still a core member of the cell.
 struct CellCoreState {
   std::unique_ptr<EmptinessStructure> core_set;
-  std::unordered_set<PointId> members;
   std::vector<PointId> log;
 
-  /// ε-close core cells this cell currently runs an aBCP instance with.
-  std::vector<CellId> instance_peers;
+  /// ε-close core cells this cell currently runs an aBCP instance with,
+  /// each with the instance's index in the owner's arena — the GUM cascades
+  /// (every core arrival/departure feeds all peers) reach instances by
+  /// direct index, no hashing.
+  struct PeerLink {
+    CellId peer;
+    int32_t instance;
+  };
+  std::vector<PeerLink> instance_peers;
 
-  bool is_core_cell() const { return !members.empty(); }
+  /// Current core members live in core_set (membership, count, and
+  /// proximity queries all go through it).
+  bool is_core_cell() const { return core_set != nullptr && core_set->size() > 0; }
 };
 
 /// One instance of the approximate bichromatic close pair problem (Section
@@ -37,6 +45,9 @@ struct CellCoreState {
 /// non-empty (Section 7.2).
 class AbcpInstance {
  public:
+  /// Empty instance (flat-table slot filler); not usable until assigned.
+  AbcpInstance() : c1_(kInvalidCell), c2_(kInvalidCell) {}
+
   AbcpInstance(CellId c1, CellId c2) : c1_(c1), c2_(c2) {}
 
   CellId c1() const { return c1_; }

@@ -3,10 +3,10 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/params.h"
+#include "geom/box.h"
 #include "geom/point.h"
 #include "grid/grid.h"
 
@@ -37,6 +37,9 @@ class EmptinessStructure {
   /// Number of core points in the structure.
   virtual int size() const = 0;
 
+  /// True when `p` is currently a member (the aBCP log de-listing test).
+  virtual bool Contains(PointId p) const = 0;
+
   /// The emptiness query: a core point within (1+ρ)ε of `q`, or
   /// kInvalidPoint. Guaranteed non-invalid when some member is within ε.
   virtual PointId Query(const Point& q) const = 0;
@@ -63,9 +66,21 @@ enum class EmptinessKind {
 };
 
 /// Creates an emptiness structure over core points of one cell. `grid` must
-/// outlive the structure and provides point coordinates.
+/// outlive the structure and provides point coordinates. When `cell_box`
+/// (the bounds of the cell whose members the structure holds) is given, the
+/// scan-based implementations answer a query in O(d) whenever even the
+/// box's nearest point is beyond (1+ρ)ε — the all-miss witness probes that
+/// otherwise scan the entire member set.
+///
+/// `slot_registry`, when given, is a per-point slot array shared by every
+/// structure of one clusterer (a point is a core member of at most one cell
+/// at a time), turning the brute-force structure's member bookkeeping into
+/// two array writes instead of hash-map operations. It must outlive the
+/// structures; stale entries for non-members are never read.
 std::unique_ptr<EmptinessStructure> MakeEmptinessStructure(
-    EmptinessKind kind, const Grid* grid, const DbscanParams& params);
+    EmptinessKind kind, const Grid* grid, const DbscanParams& params,
+    const Box* cell_box = nullptr,
+    std::vector<int32_t>* slot_registry = nullptr);
 
 }  // namespace ddc
 

@@ -16,17 +16,13 @@ FullyDynamicClusterer::FullyDynamicClusterer(const DbscanParams& params,
   params_.Validate();
 }
 
-uint64_t FullyDynamicClusterer::PairKey(CellId a, CellId b) {
-  if (a > b) std::swap(a, b);
-  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
-         static_cast<uint32_t>(b);
-}
-
 CellCoreState& FullyDynamicClusterer::State(CellId c) {
   DDC_DCHECK(static_cast<size_t>(c) < cells_.size());
   CellCoreState& s = cells_[c];
   if (s.core_set == nullptr) {
-    s.core_set = MakeEmptinessStructure(options_.emptiness, &grid_, params_);
+    const Box box = grid_.cell_box(c);
+    s.core_set = MakeEmptinessStructure(options_.emptiness, &grid_, params_,
+                                        &box, &core_slots_);
   }
   return s;
 }
@@ -45,8 +41,10 @@ PointId FullyDynamicClusterer::Insert(const Point& p) {
   const Grid::InsertResult ins = grid_.Insert(p);
   // Cells are only materialized here, so GUM callbacks below never resize
   // cells_ (references into it stay valid).
-  cells_.resize(grid_.num_cells());
-  cc_->EnsureVertices(grid_.num_cells());
+  if (ins.cell_created) {
+    cells_.resize(grid_.num_cells());
+    cc_->EnsureVertices(grid_.num_cells());
+  }
   counter_.OnInsert(ins.id, ins.cell);
   tracker_.OnInsert(ins.id, ins.cell,
                     [this](PointId q, CellId c) { OnCorePromoted(q, c); });
@@ -65,32 +63,35 @@ void FullyDynamicClusterer::Delete(PointId id) {
   grid_.Delete(id);
   counter_.OnDelete(id, cell);
   // Remaining points may demote now that the counts dropped.
-  tracker_.OnDelete(cell,
+  tracker_.OnDelete(id, cell,
                     [this](PointId q, CellId c) { OnCoreDemoted(q, c); });
 }
 
 void FullyDynamicClusterer::CreateInstance(CellId a, CellId b) {
-  const uint64_t key = PairKey(a, b);
-  DDC_DCHECK(instances_.count(key) == 0);
-  auto [it, inserted] = instances_.emplace(key, AbcpInstance(a, b));
-  State(a).instance_peers.push_back(b);
-  State(b).instance_peers.push_back(a);
-  if (it->second.Initialize(grid_, State(a), State(b))) {
+  int32_t idx;
+  if (!free_instances_.empty()) {
+    idx = free_instances_.back();
+    free_instances_.pop_back();
+    instances_[idx] = AbcpInstance(a, b);
+  } else {
+    idx = static_cast<int32_t>(instances_.size());
+    instances_.push_back(AbcpInstance(a, b));
+  }
+  State(a).instance_peers.push_back({b, idx});
+  State(b).instance_peers.push_back({a, idx});
+  if (instances_[idx].Initialize(grid_, State(a), State(b))) {
     SetEdge(a, b, true);
   }
 }
 
-void FullyDynamicClusterer::DestroyInstance(CellId a, CellId b) {
-  const uint64_t key = PairKey(a, b);
-  const auto it = instances_.find(key);
-  DDC_CHECK(it != instances_.end());
-  if (it->second.has_witness()) SetEdge(a, b, false);
-  instances_.erase(it);
+void FullyDynamicClusterer::DestroyInstance(CellId a, CellId b,
+                                            int32_t instance) {
+  if (instances_[instance].has_witness()) SetEdge(a, b, false);
+  free_instances_.push_back(instance);
   for (const CellId x : {a, b}) {
     auto& peers = State(x).instance_peers;
-    const CellId y = (x == a) ? b : a;
     for (size_t i = 0; i < peers.size(); ++i) {
-      if (peers[i] == y) {
+      if (peers[i].instance == instance) {
         peers[i] = peers.back();
         peers.pop_back();
         break;
@@ -102,7 +103,6 @@ void FullyDynamicClusterer::DestroyInstance(CellId a, CellId b) {
 void FullyDynamicClusterer::OnCorePromoted(PointId p, CellId cell) {
   CellCoreState& s = State(cell);
   const bool was_core_cell = s.is_core_cell();
-  s.members.insert(p);
   s.core_set->Insert(p);
   s.log.push_back(p);
 
@@ -115,33 +115,42 @@ void FullyDynamicClusterer::OnCorePromoted(PointId p, CellId cell) {
     }
     return;
   }
-  // Feed the arrival to every instance of this cell; edges may appear.
-  for (const CellId nb : s.instance_peers) {
-    AbcpInstance& inst = instances_.at(PairKey(cell, nb));
-    const bool had = inst.has_witness();
-    const bool has =
-        inst.OnCoreInsert(grid_, State(inst.c1()), State(inst.c2()));
-    if (has != had) SetEdge(cell, nb, has);
+  // Feed the arrival to every *witnessless* instance of this cell; edges
+  // may appear. Instances holding a witness ignore arrivals by design (the
+  // newcomer just stays in the log suffix), so they are skipped without the
+  // call.
+  for (const auto& [nb, idx] : s.instance_peers) {
+    AbcpInstance& inst = instances_[idx];
+    if (inst.has_witness()) continue;
+    if (inst.OnCoreInsert(grid_, State(inst.c1()), State(inst.c2()))) {
+      SetEdge(cell, nb, true);
+    }
   }
 }
 
 void FullyDynamicClusterer::OnCoreDemoted(PointId p, CellId cell) {
   CellCoreState& s = State(cell);
-  DDC_CHECK(s.members.erase(p) == 1);
   s.core_set->Remove(p);
 
   if (!s.is_core_cell()) {
     // The cell leaves the grid graph: drop all of its instances.
-    const std::vector<CellId> peers = s.instance_peers;
-    for (const CellId nb : peers) DestroyInstance(cell, nb);
+    const std::vector<CellCoreState::PeerLink> peers = s.instance_peers;
+    for (const auto& [nb, idx] : peers) DestroyInstance(cell, nb, idx);
     return;
   }
-  for (const CellId nb : s.instance_peers) {
-    AbcpInstance& inst = instances_.at(PairKey(cell, nb));
-    const bool had = inst.has_witness();
-    const bool has = inst.OnCoreRemove(grid_, State(inst.c1()),
-                                       State(inst.c2()), cell, p);
-    if (has != had) SetEdge(cell, nb, has);
+  for (const auto& [nb, idx] : s.instance_peers) {
+    AbcpInstance& inst = instances_[idx];
+    // Cheap precheck: a departure only matters to an instance whose current
+    // witness is exactly the departing point (no witness -> L is empty; a
+    // different witness survives untouched). Newest-first witness selection
+    // makes this the common case under FIFO churn.
+    const bool was_w1 = inst.c1() == cell && inst.w1() == p;
+    const bool was_w2 = inst.c2() == cell && inst.w2() == p;
+    if (!was_w1 && !was_w2) continue;
+    if (!inst.OnCoreRemove(grid_, State(inst.c1()), State(inst.c2()), cell,
+                           p)) {
+      SetEdge(cell, nb, false);
+    }
   }
 }
 

@@ -2,9 +2,9 @@
 #define DDC_CORE_FULLY_DYNAMIC_CLUSTERER_H_
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "connectivity/dynamic_connectivity.h"
 #include "core/abcp.h"
 #include "core/clusterer.h"
@@ -56,7 +56,7 @@ class FullyDynamicClusterer : public Clusterer {
   bool is_core(PointId p) const { return tracker_.is_core(p); }
   int64_t num_graph_edges() const { return num_edges_; }
   int64_t num_abcp_instances() const {
-    return static_cast<int64_t>(instances_.size());
+    return static_cast<int64_t>(instances_.size() - free_instances_.size());
   }
   const Grid& grid() const { return grid_; }
 
@@ -68,11 +68,9 @@ class FullyDynamicClusterer : public Clusterer {
   CellCoreState& State(CellId c);
 
   void CreateInstance(CellId a, CellId b);
-  void DestroyInstance(CellId a, CellId b);
+  void DestroyInstance(CellId a, CellId b, int32_t instance);
 
   void SetEdge(CellId a, CellId b, bool present);
-
-  static uint64_t PairKey(CellId a, CellId b);
 
   DbscanParams params_;
   Options options_;
@@ -81,7 +79,12 @@ class FullyDynamicClusterer : public Clusterer {
   RelaxedCoreTracker tracker_;
   std::unique_ptr<DynamicConnectivity> cc_;
   std::vector<CellCoreState> cells_;
-  std::unordered_map<uint64_t, AbcpInstance> instances_;
+  /// aBCP instance arena; slots are recycled through the free list and
+  /// addressed by the PeerLink indices in CellCoreState.
+  std::vector<AbcpInstance> instances_;
+  std::vector<int32_t> free_instances_;
+  /// Shared per-point slot registry for the cells' emptiness structures.
+  std::vector<int32_t> core_slots_;
   int64_t num_edges_ = 0;
 };
 

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/flat_hash.h"
 
 namespace ddc {
 
@@ -94,10 +95,10 @@ void IncrementalDbscan::Delete(PointId id) {
   // or to a demoted core. The surviving cores adjacent to those points seed
   // the split check; any split component must contain one of them.
   std::unordered_map<int, std::vector<PointId>> seeds_by_cluster;
-  std::unordered_set<PointId> dedupe;
+  FlatHashSet<PointId> dedupe;
   auto add_seed = [&](PointId r) {
     if (!is_core(r)) return;
-    if (!dedupe.insert(r).second) return;
+    if (!dedupe.Insert(r)) return;
     seeds_by_cluster[ClusterOf(r)].push_back(r);
   };
   for (const PointId q : seeds) {
@@ -124,7 +125,7 @@ void IncrementalDbscan::CheckSplit(const std::vector<PointId>& seeds) {
   const int k = static_cast<int>(seeds.size());
   std::vector<std::deque<PointId>> frontier(k);
   std::vector<std::vector<PointId>> visited_list(k);
-  std::unordered_map<PointId, int> owner;
+  FlatHashMap<PointId, int> owner;
   UnionFind threads(k);
   std::vector<bool> finished(k, false);
 
@@ -162,14 +163,14 @@ void IncrementalDbscan::CheckSplit(const std::vector<PointId>& seeds) {
       frontier[t].pop_front();
       for (const PointId r : RangeQuery(grid_.point(x))) {
         if (!is_core(r)) continue;
-        const auto it = owner.find(r);
-        if (it == owner.end()) {
+        const int* owning_thread = owner.Find(r);
+        if (owning_thread == nullptr) {
           owner[r] = t;
           frontier[t].push_back(r);
           visited_list[t].push_back(r);
           continue;
         }
-        const int other = threads.Find(it->second);
+        const int other = threads.Find(*owning_thread);
         if (other != t) {
           // Threads meet: coalesce into the surviving root.
           threads.Union(t, other);

@@ -1,84 +1,21 @@
 #include "core/relaxed_core_tracker.h"
 
-#include "common/check.h"
-
 namespace ddc {
 
 RelaxedCoreTracker::RelaxedCoreTracker(const Grid* grid,
                                        const ApproxRangeCounter* counter,
                                        const DbscanParams& params)
-    : grid_(grid), counter_(counter), params_(params) {
+    : grid_(grid),
+      counter_(counter),
+      params_(params),
+      filter_sq_(params.eps_outer() * params.eps_outer()) {
   params_.Validate();
 }
 
 bool RelaxedCoreTracker::QueryCore(PointId pid) const {
-  return counter_->Count(grid_->point(pid), params_.min_pts) >=
-         params_.min_pts;
-}
-
-void RelaxedCoreTracker::OnInsert(
-    PointId pid, CellId cell,
-    const std::function<void(PointId, CellId)>& on_promote) {
-  DDC_CHECK(pid == static_cast<PointId>(is_core_.size()));
-  is_core_.push_back(false);
-
-  std::vector<std::pair<PointId, CellId>> promoted;
-
-  // The new point itself: dense own cell => core outright.
-  const Cell& own = grid_->cell(cell);
-  if (own.size() >= params_.min_pts || QueryCore(pid)) {
-    is_core_[pid] = true;
-    promoted.emplace_back(pid, cell);
-  }
-
-  // Insertions can only promote. Candidates live in sparse ε-close cells —
-  // and in the own cell, which may have just crossed the density threshold
-  // (its residents then become "definitely core" without a count query).
-  auto scan = [&](CellId c) {
-    const Cell& cc = grid_->cell(c);
-    const bool now_dense = cc.size() >= params_.min_pts;
-    for (const PointId q : cc.points) {
-      if (q == pid || is_core_[q]) continue;
-      if (now_dense || QueryCore(q)) {
-        is_core_[q] = true;
-        promoted.emplace_back(q, c);
-      }
-    }
-  };
-
-  if (own.size() <= params_.min_pts) scan(cell);
-  for (const CellId nb : own.neighbors) {
-    const Cell& nbc = grid_->cell(nb);
-    if (!nbc.empty() && nbc.size() < params_.min_pts) scan(nb);
-  }
-
-  for (const auto& [q, c] : promoted) on_promote(q, c);
-}
-
-void RelaxedCoreTracker::OnDelete(
-    CellId cell, const std::function<void(PointId, CellId)>& on_demote) {
-  std::vector<std::pair<PointId, CellId>> demoted;
-
-  // Deletions can only demote, and only points in cells that are sparse now
-  // (a still-dense cell keeps its residents definitely core).
-  auto scan = [&](CellId c) {
-    const Cell& cc = grid_->cell(c);
-    if (cc.size() >= params_.min_pts) return;
-    for (const PointId q : cc.points) {
-      if (!is_core_[q]) continue;
-      if (!QueryCore(q)) {
-        is_core_[q] = false;
-        demoted.emplace_back(q, c);
-      }
-    }
-  };
-
-  scan(cell);
-  for (const CellId nb : grid_->cell(cell).neighbors) {
-    if (!grid_->cell(nb).empty()) scan(nb);
-  }
-
-  for (const auto& [q, c] : demoted) on_demote(q, c);
+  // Alive points always have a materialized cell: skip the cell lookup.
+  return counter_->CountFromCell(grid_->point(pid), grid_->cell_of(pid),
+                                 params_.min_pts) >= params_.min_pts;
 }
 
 }  // namespace ddc

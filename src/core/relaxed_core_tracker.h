@@ -1,9 +1,10 @@
 #ifndef DDC_CORE_RELAXED_CORE_TRACKER_H_
 #define DDC_CORE_RELAXED_CORE_TRACKER_H_
 
-#include <functional>
+#include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "core/params.h"
 #include "counting/approx_counter.h"
 #include "geom/point.h"
@@ -30,16 +31,17 @@ class RelaxedCoreTracker {
 
   /// Processes the insertion of `pid` into `cell` (grid and counter already
   /// updated). Emits `on_promote(q, cell_of_q)` for every point that turned
-  /// core, possibly including `pid`.
-  void OnInsert(PointId pid, CellId cell,
-                const std::function<void(PointId, CellId)>& on_promote);
+  /// core, possibly including `pid`. Templated on the callback so the
+  /// per-update path never materializes a std::function.
+  template <typename Fn>
+  void OnInsert(PointId pid, CellId cell, Fn&& on_promote);
 
-  /// Processes a deletion out of `cell` (grid and counter already updated;
-  /// the deleted point's own demotion, if it was core, must be handled by
-  /// the caller beforehand). Emits `on_demote(q, cell_of_q)` for every
-  /// remaining point that lost core status.
-  void OnDelete(CellId cell,
-                const std::function<void(PointId, CellId)>& on_demote);
+  /// Processes the deletion of `deleted` out of `cell` (grid and counter
+  /// already updated; the deleted point's own demotion, if it was core, must
+  /// be handled by the caller beforehand). Emits `on_demote(q, cell_of_q)`
+  /// for every remaining point that lost core status.
+  template <typename Fn>
+  void OnDelete(PointId deleted, CellId cell, Fn&& on_demote);
 
   bool is_core(PointId pid) const { return is_core_[pid]; }
 
@@ -52,8 +54,113 @@ class RelaxedCoreTracker {
   const Grid* grid_;
   const ApproxRangeCounter* counter_;
   DbscanParams params_;
+  /// Re-query filter radius², (1+ρ)ε squared: an update farther than this
+  /// from a point cannot change any conforming count for it, so its declared
+  /// status stays valid without a counter query.
+  double filter_sq_;
   std::vector<bool> is_core_;
+  /// Scratch for the deferred promotion/demotion lists (OnInsert/OnDelete
+  /// are not reentrant); reused to keep the per-update path allocation-free.
+  std::vector<std::pair<PointId, CellId>> scratch_;
 };
+
+template <typename Fn>
+void RelaxedCoreTracker::OnInsert(PointId pid, CellId cell, Fn&& on_promote) {
+  DDC_CHECK(pid == static_cast<PointId>(is_core_.size()));
+  is_core_.push_back(false);
+
+  std::vector<std::pair<PointId, CellId>>& promoted = scratch_;
+  promoted.clear();
+
+  // The new point itself: dense own cell => core outright.
+  const Cell& own = grid_->cell(cell);
+  if (own.size() >= params_.min_pts || QueryCore(pid)) {
+    is_core_[pid] = true;
+    promoted.emplace_back(pid, cell);
+  }
+
+  // Insertions can only promote. Candidates live in sparse ε-close cells —
+  // and in the own cell, which may have just crossed the density threshold
+  // (its residents then become "definitely core" without a count query).
+  // Only points within (1+ρ)ε of the arrival can see their count change, so
+  // everyone farther keeps their status query-free (same-cell points are
+  // within ε by the grid geometry — no test needed).
+  const Point& p = grid_->point(pid);
+  const int dim = params_.dim;
+  auto scan = [&](CellId c, bool same_cell) {
+    const Cell& cc = grid_->cell(c);
+    const bool now_dense = cc.size() >= params_.min_pts;
+    const double* coords = cc.coords.data();
+    const size_t n = cc.points.size();
+    for (size_t i = 0; i < n; ++i, coords += dim) {
+      const PointId q = cc.points[i];
+      if (q == pid || is_core_[q]) continue;
+      if (now_dense) {
+        is_core_[q] = true;
+        promoted.emplace_back(q, c);
+        continue;
+      }
+      if (!same_cell && !WithinSquaredPacked(p, coords, dim, filter_sq_)) {
+        continue;
+      }
+      if (QueryCore(q)) {
+        is_core_[q] = true;
+        promoted.emplace_back(q, c);
+      }
+    }
+  };
+
+  if (own.size() <= params_.min_pts) scan(cell, /*same_cell=*/true);
+  for (const CellId nb : own.neighbors) {
+    const int nb_size = grid_->cell_size(nb);
+    if (nb_size > 0 && nb_size < params_.min_pts) {
+      scan(nb, /*same_cell=*/false);
+    }
+  }
+
+  for (const auto& [q, c] : promoted) on_promote(q, c);
+}
+
+template <typename Fn>
+void RelaxedCoreTracker::OnDelete(PointId deleted, CellId cell,
+                                  Fn&& on_demote) {
+  std::vector<std::pair<PointId, CellId>>& demoted = scratch_;
+  demoted.clear();
+
+  // Deletions can only demote, and only points in cells that are sparse now
+  // (a still-dense cell keeps its residents definitely core) whose ε-ball
+  // could actually have lost the departed point — the distance filter again.
+  const Point& p = grid_->point(deleted);  // Valid after deletion.
+  const int dim = params_.dim;
+  auto scan = [&](CellId c, bool same_cell) {
+    const Cell& cc = grid_->cell(c);
+    const double* coords = cc.coords.data();
+    const size_t n = cc.points.size();
+    for (size_t i = 0; i < n; ++i, coords += dim) {
+      const PointId q = cc.points[i];
+      if (!is_core_[q]) continue;
+      if (!same_cell && !WithinSquaredPacked(p, coords, dim, filter_sq_)) {
+        continue;
+      }
+      if (!QueryCore(q)) {
+        is_core_[q] = false;
+        demoted.emplace_back(q, c);
+      }
+    }
+  };
+
+  if (grid_->cell_size(cell) < params_.min_pts) {
+    scan(cell, /*same_cell=*/true);
+  }
+  for (const CellId nb : grid_->cell(cell).neighbors) {
+    const int nb_size = grid_->cell_size(nb);
+    if (nb_size > 0 && nb_size < params_.min_pts) {
+      scan(nb, /*same_cell=*/false);
+    }
+  }
+
+  for (const auto& [q, c] : demoted) on_demote(q, c);
+}
 
 }  // namespace ddc
 

@@ -25,7 +25,9 @@ EmptinessStructure* SemiDynamicClusterer::CoreSet(CellId c) {
     cell_core_.resize(grid_.num_cells());
   }
   if (cell_core_[c] == nullptr) {
-    cell_core_[c] = MakeEmptinessStructure(emptiness_kind_, &grid_, params_);
+    const Box box = grid_.cell_box(c);
+    cell_core_[c] = MakeEmptinessStructure(emptiness_kind_, &grid_, params_,
+                                           &box, &core_slots_);
   }
   return cell_core_[c].get();
 }
@@ -53,9 +55,9 @@ void SemiDynamicClusterer::OnNewCore(PointId p, CellId cell) {
       continue;  // Not a core cell.
     }
     const uint64_t key = EdgeKey(cell, nb);
-    if (edges_.count(key) > 0) continue;
+    if (edges_.Contains(key)) continue;
     if (cell_core_[nb]->Query(pt) != kInvalidPoint) {
-      edges_.insert(key);
+      edges_.Insert(key);
       uf_.Union(cell, nb);
     }
   }

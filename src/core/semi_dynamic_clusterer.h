@@ -2,9 +2,9 @@
 #define DDC_CORE_SEMI_DYNAMIC_CLUSTERER_H_
 
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "core/clusterer.h"
 #include "core/emptiness.h"
 #include "core/params.h"
@@ -64,7 +64,9 @@ class SemiDynamicClusterer : public Clusterer {
   VicinityTracker tracker_;
   UnionFind uf_;
   std::vector<std::unique_ptr<EmptinessStructure>> cell_core_;
-  std::unordered_set<uint64_t> edges_;
+  /// Shared per-point slot registry for the cells' emptiness structures.
+  std::vector<int32_t> core_slots_;
+  FlatHashSet<uint64_t> edges_;
 };
 
 }  // namespace ddc

@@ -1,86 +1,10 @@
 #include "core/vicinity_tracker.h"
 
-#include "common/check.h"
-
 namespace ddc {
 
 VicinityTracker::VicinityTracker(const Grid* grid, const DbscanParams& params)
     : grid_(grid), params_(params), eps_sq_(params.eps * params.eps) {
   params_.Validate();
-}
-
-void VicinityTracker::OnInsert(
-    PointId pid, CellId cell,
-    const std::function<void(PointId, CellId)>& on_core) {
-  DDC_CHECK(pid == static_cast<PointId>(is_core_.size()));
-  is_core_.push_back(false);
-  vincnt_.push_back(1);  // B(p, eps) includes p itself.
-
-  const Point& p = grid_->point(pid);
-  const int min_pts = params_.min_pts;
-  // Deferred promotions: settle all counts first, then notify, so that the
-  // GUM callback observes a consistent core-status state.
-  std::vector<std::pair<PointId, CellId>> promoted;
-
-  // Pass 1 — sparse cells (own + ε-close): update neighbor vicinity counts
-  // and accumulate the new point's count. Same-cell points are within ε by
-  // the grid geometry (side ε/√d, half-open cells), no distance test needed.
-  auto scan_sparse = [&](CellId c, bool same_cell) {
-    for (const PointId q : grid_->cell(c).points) {
-      if (q == pid) continue;
-      if (!same_cell &&
-          SquaredDistance(p, grid_->point(q), params_.dim) > eps_sq_) {
-        continue;
-      }
-      ++vincnt_[pid];
-      if (!is_core_[q]) {
-        if (++vincnt_[q] >= min_pts) {
-          is_core_[q] = true;
-          promoted.emplace_back(q, c);
-        }
-      }
-    }
-  };
-
-  const Cell& own = grid_->cell(cell);
-  // `own` already contains pid. If the cell was dense before this insertion
-  // (size - 1 >= MinPts), all its points are core already and no bookkeeping
-  // is needed; otherwise scan it — this also promotes every resident when
-  // the cell crosses the density threshold right now.
-  const bool was_dense = own.size() - 1 >= min_pts;
-  if (!was_dense) scan_sparse(cell, /*same_cell=*/true);
-
-  std::vector<CellId> dense_neighbors;
-  for (const CellId nb : own.neighbors) {
-    const Cell& nbc = grid_->cell(nb);
-    if (nbc.empty()) continue;
-    if (nbc.size() >= min_pts) {
-      dense_neighbors.push_back(nb);
-    } else {
-      scan_sparse(nb, /*same_cell=*/false);
-    }
-  }
-
-  // Pass 2 — decide the new point's own status. Dense own cell => core
-  // outright. Otherwise finish the count against dense neighbor cells with
-  // early exit (their points are all core already, no bookkeeping needed).
-  bool self_core = own.size() >= min_pts;
-  if (!self_core && vincnt_[pid] < min_pts) {
-    for (const CellId nb : dense_neighbors) {
-      for (const PointId q : grid_->cell(nb).points) {
-        if (SquaredDistance(p, grid_->point(q), params_.dim) <= eps_sq_) {
-          if (++vincnt_[pid] >= min_pts) break;
-        }
-      }
-      if (vincnt_[pid] >= min_pts) break;
-    }
-  }
-  if (self_core || vincnt_[pid] >= min_pts) {
-    is_core_[pid] = true;
-    promoted.emplace_back(pid, cell);
-  }
-
-  for (const auto& [q, c] : promoted) on_core(q, c);
 }
 
 }  // namespace ddc

@@ -1,9 +1,10 @@
 #ifndef DDC_CORE_VICINITY_TRACKER_H_
 #define DDC_CORE_VICINITY_TRACKER_H_
 
-#include <functional>
+#include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "core/params.h"
 #include "geom/point.h"
 #include "grid/grid.h"
@@ -31,9 +32,10 @@ class VicinityTracker {
   /// Processes the insertion of `pid` into `cell` (grid already updated).
   /// Calls `on_core(q, cell_of_q)` for every point that turned core as a
   /// result — possibly `pid` itself and/or promoted neighbors. Promotions
-  /// are emitted after all counts are settled.
-  void OnInsert(PointId pid, CellId cell,
-                const std::function<void(PointId, CellId)>& on_core);
+  /// are emitted after all counts are settled. Templated on the callback so
+  /// the per-insert path never materializes a std::function.
+  template <typename Fn>
+  void OnInsert(PointId pid, CellId cell, Fn&& on_core);
 
   /// Current core status of a point.
   bool is_core(PointId pid) const { return is_core_[pid]; }
@@ -47,7 +49,94 @@ class VicinityTracker {
   double eps_sq_;
   std::vector<bool> is_core_;
   std::vector<int32_t> vincnt_;
+  /// Scratch buffers (OnInsert is not reentrant); reused so the per-insert
+  /// path stays allocation-free.
+  std::vector<std::pair<PointId, CellId>> promoted_scratch_;
+  std::vector<CellId> dense_scratch_;
 };
+
+template <typename Fn>
+void VicinityTracker::OnInsert(PointId pid, CellId cell, Fn&& on_core) {
+  DDC_CHECK(pid == static_cast<PointId>(is_core_.size()));
+  is_core_.push_back(false);
+  vincnt_.push_back(1);  // B(p, eps) includes p itself.
+
+  const Point& p = grid_->point(pid);
+  const int min_pts = params_.min_pts;
+  // Deferred promotions: settle all counts first, then notify, so that the
+  // GUM callback observes a consistent core-status state.
+  std::vector<std::pair<PointId, CellId>>& promoted = promoted_scratch_;
+  promoted.clear();
+
+  // Pass 1 — sparse cells (own + ε-close): update neighbor vicinity counts
+  // and accumulate the new point's count. Same-cell points are within ε by
+  // the grid geometry (side ε/√d, half-open cells), no distance test needed.
+  // The distance tests stream the cell's packed coordinates.
+  const int dim = params_.dim;
+  auto scan_sparse = [&](CellId c, bool same_cell) {
+    const Cell& cc = grid_->cell(c);
+    const double* coords = cc.coords.data();
+    const size_t n = cc.points.size();
+    for (size_t i = 0; i < n; ++i, coords += dim) {
+      const PointId q = cc.points[i];
+      if (q == pid) continue;
+      if (!same_cell && !WithinSquaredPacked(p, coords, dim, eps_sq_)) {
+        continue;
+      }
+      ++vincnt_[pid];
+      if (!is_core_[q]) {
+        if (++vincnt_[q] >= min_pts) {
+          is_core_[q] = true;
+          promoted.emplace_back(q, c);
+        }
+      }
+    }
+  };
+
+  const Cell& own = grid_->cell(cell);
+  // `own` already contains pid. If the cell was dense before this insertion
+  // (size - 1 >= MinPts), all its points are core already and no bookkeeping
+  // is needed; otherwise scan it — this also promotes every resident when
+  // the cell crosses the density threshold right now.
+  const bool was_dense = own.size() - 1 >= min_pts;
+  if (!was_dense) scan_sparse(cell, /*same_cell=*/true);
+
+  std::vector<CellId>& dense_neighbors = dense_scratch_;
+  dense_neighbors.clear();
+  for (const CellId nb : own.neighbors) {
+    const int nb_size = grid_->cell_size(nb);
+    if (nb_size == 0) continue;
+    if (nb_size >= min_pts) {
+      dense_neighbors.push_back(nb);
+    } else {
+      scan_sparse(nb, /*same_cell=*/false);
+    }
+  }
+
+  // Pass 2 — decide the new point's own status. Dense own cell => core
+  // outright. Otherwise finish the count against dense neighbor cells with
+  // early exit (their points are all core already, no bookkeeping needed).
+  bool self_core = own.size() >= min_pts;
+  if (!self_core && vincnt_[pid] < min_pts) {
+    for (const CellId nb : dense_neighbors) {
+      const Cell& nbc = grid_->cell(nb);
+      const double* coords = nbc.coords.data();
+      const size_t n = nbc.points.size();
+      for (size_t i = 0; i < n; ++i, coords += dim) {
+        if (WithinSquaredPacked(p, coords, dim, eps_sq_)) {
+          if (++vincnt_[pid] >= min_pts) break;
+        }
+      }
+      if (vincnt_[pid] >= min_pts) break;
+    }
+  }
+  if (self_core || vincnt_[pid] >= min_pts) {
+    is_core_[pid] = true;
+    promoted.emplace_back(pid, cell);
+  }
+
+  for (const auto& [q, c] : promoted) on_core(q, c);
+}
 
 }  // namespace ddc
 

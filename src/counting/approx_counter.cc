@@ -33,45 +33,102 @@ void ApproxRangeCounter::OnInsert(PointId p, CellId cell) {
   if (static_cast<size_t>(cell) >= buckets_.size()) {
     buckets_.resize(grid_->num_cells());
   }
-  ++buckets_[cell].counts[SubKey(grid_->point(p))];
+  const CellKey key = SubKey(grid_->point(p));
+  ++*buckets_[cell].counts.EmplaceHashed(key.Hash(), key).first;
 }
 
 void ApproxRangeCounter::OnDelete(PointId p, CellId cell) {
   if (kind_ != CounterKind::kSubGrid) return;
   DDC_CHECK(static_cast<size_t>(cell) < buckets_.size());
   auto& counts = buckets_[cell].counts;
-  const auto it = counts.find(SubKey(grid_->point(p)));
-  DDC_CHECK(it != counts.end() && it->second > 0);
-  if (--it->second == 0) counts.erase(it);
+  const CellKey key = SubKey(grid_->point(p));
+  const uint64_t hash = key.Hash();
+  int32_t* n = counts.FindHashed(hash, key);
+  DDC_CHECK(n != nullptr && *n > 0);
+  if (--*n == 0) counts.EraseHashed(hash, key);
 }
 
 int ApproxRangeCounter::Count(const Point& q, int cap) const {
+  return kind_ == CounterKind::kExact ? ExactCount(q, kInvalidCell, cap)
+                                      : SubGridCount(q, kInvalidCell, cap);
+}
+
+int ApproxRangeCounter::CountFromCell(const Point& q, CellId home,
+                                      int cap) const {
+  return kind_ == CounterKind::kExact ? ExactCount(q, home, cap)
+                                      : SubGridCount(q, home, cap);
+}
+
+int ApproxRangeCounter::ExactCount(const Point& q, CellId home,
+                                   int cap) const {
   int count = 0;
-  if (kind_ == CounterKind::kExact) {
-    grid_->ForEachNearbyCell(q, [&](CellId c) {
-      if (count >= cap) return;
-      for (const PointId pid : grid_->cell(c).points) {
-        if (SquaredDistance(q, grid_->point(pid), params_.dim) <= eps_sq_) {
-          if (++count >= cap) return;
-        }
+  const int dim = params_.dim;
+  const auto visit = [&](CellId c, bool own) {
+    if (count >= cap) return;
+    const int n = grid_->cell_size(c);
+    if (own) {
+      // Same-cell points are within ε of q by the grid geometry (side
+      // ε/√d) — the invariant the core trackers already build on — so the
+      // whole cell counts without a distance test.
+      count = std::min(count + n, cap);
+      return;
+    }
+    if (n == 0) return;
+    // Whole-cell prefilter: when even the nearest point of the cell's box
+    // is beyond ε, no resident can qualify (kBoxPrefilterSlack guards the
+    // boundary). Key and size come from the grid's packed mirrors; the
+    // cell struct itself is only pulled in for a real scan.
+    const double side = grid_->side();
+    const CellKey& key = grid_->cell_key(c);
+    double box_sq = 0;
+    for (int i = 0; i < dim; ++i) {
+      const double lo = key[i] * side;
+      double d = 0;
+      if (q[i] < lo) {
+        d = lo - q[i];
+      } else if (q[i] > lo + side) {
+        d = q[i] - (lo + side);
       }
-    });
-    return count;
+      box_sq += d * d;
+    }
+    if (box_sq > eps_sq_ * (1 + kBoxPrefilterSlack)) return;
+    const double* coords = grid_->cell(c).coords.data();
+    for (int i = 0; i < n; ++i, coords += dim) {
+      if (WithinSquaredPacked(q, coords, dim, eps_sq_)) {
+        if (++count >= cap) return;
+      }
+    }
+  };
+  if (home != kInvalidCell) {
+    grid_->ForEachNearbyCellOfTagged(home, visit);
+  } else {
+    grid_->ForEachNearbyCellTagged(q, visit);
   }
-  // Sub-grid mode: test bucket centers.
-  grid_->ForEachNearbyCell(q, [&](CellId c) {
+  return count;
+}
+
+int ApproxRangeCounter::SubGridCount(const Point& q, CellId home,
+                                     int cap) const {
+  int count = 0;
+  const int dim = params_.dim;
+  const auto visit = [&](CellId c, bool) {
     if (count >= cap || static_cast<size_t>(c) >= buckets_.size()) return;
     for (const auto& [key, n] : buckets_[c].counts) {
       Point center;
-      for (int i = 0; i < params_.dim; ++i) {
+      for (int i = 0; i < dim; ++i) {
         center[i] = (key[i] + 0.5) * sub_side_;
       }
-      if (SquaredDistance(q, center, params_.dim) <= test_radius_sq_) {
+      if (WithinSquared(q, center, dim, test_radius_sq_)) {
         count += n;
         if (count >= cap) return;
       }
     }
-  });
+  };
+  if (home != kInvalidCell) {
+    grid_->ForEachNearbyCellOfTagged(home, visit);
+  } else {
+    grid_->ForEachNearbyCellTagged(q, visit);
+  }
   return std::min(count, cap);
 }
 

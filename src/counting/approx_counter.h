@@ -1,9 +1,9 @@
 #ifndef DDC_COUNTING_APPROX_COUNTER_H_
 #define DDC_COUNTING_APPROX_COUNTER_H_
 
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "core/params.h"
 #include "geom/point.h"
 #include "grid/cell_key.h"
@@ -45,14 +45,23 @@ class ApproxRangeCounter {
   /// the query may return exactly `cap`.
   int Count(const Point& q, int cap) const;
 
+  /// Count for a query point whose (materialized) cell is already known —
+  /// the core trackers always have it — saving the key/hash/index work.
+  int CountFromCell(const Point& q, CellId home, int cap) const;
+
   CounterKind kind() const { return kind_; }
 
  private:
   struct BucketMap {
-    std::unordered_map<CellKey, int32_t, CellKeyHash> counts;
+    FlatHashMap<CellKey, int32_t, CellKeyHash> counts;
   };
 
   CellKey SubKey(const Point& p) const;
+
+  /// Shared bodies: `home` is the query's cell when known, kInvalidCell to
+  /// locate it from the coordinates.
+  int ExactCount(const Point& q, CellId home, int cap) const;
+  int SubGridCount(const Point& q, CellId home, int cap) const;
 
   const Grid* grid_;
   DbscanParams params_;

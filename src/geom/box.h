@@ -5,6 +5,14 @@
 
 namespace ddc {
 
+/// Relative slack applied by the cell-box miss prefilters (emptiness
+/// queries, exact range counting): skip a cell only when its box distance
+/// exceeds radius² * (1 + slack), absorbing the ~1ulp rounding of both the
+/// box-distance arithmetic and the cell-assignment floor so a qualifying
+/// point is never mis-skipped. One constant shared by every prefilter —
+/// they must agree on boundary cells.
+inline constexpr double kBoxPrefilterSlack = 1e-9;
+
 /// Axis-parallel box [lo, hi] in R^d. Used for cell geometry: minimum
 /// box-to-box and point-to-box distances decide ε-closeness (Section 4.1 of
 /// the paper).

@@ -1,6 +1,5 @@
 #include "geom/point.h"
 
-#include <cmath>
 #include <sstream>
 
 namespace ddc {
@@ -14,23 +13,6 @@ std::string Point::ToString(int dim) const {
   }
   out << ")";
   return out.str();
-}
-
-double SquaredDistance(const Point& a, const Point& b, int dim) {
-  double s = 0;
-  for (int i = 0; i < dim; ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
-}
-
-double Distance(const Point& a, const Point& b, int dim) {
-  return std::sqrt(SquaredDistance(a, b, dim));
-}
-
-bool WithinDistance(const Point& a, const Point& b, int dim, double r) {
-  return SquaredDistance(a, b, dim) <= r * r;
 }
 
 }  // namespace ddc

@@ -2,6 +2,7 @@
 #define DDC_GEOM_POINT_H_
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -45,18 +46,75 @@ class Point {
   /// Human-readable "(x, y, ...)" rendering of the first `dim` coordinates.
   std::string ToString(int dim) const;
 
+  /// Raw coordinate storage (kMaxDim doubles, unused dims zero).
+  const double* data() const { return c_.data(); }
+
  private:
   std::array<double, kMaxDim> c_;
 };
 
+/// The distance kernels live here, inline: they are the innermost loop of
+/// every ε-range scan, emptiness query and vicinity count, and an
+/// out-of-line call per candidate point costs more than the arithmetic.
+/// The *Packed variants read `dim` contiguous doubles (the per-cell
+/// coordinate layout the Grid maintains) instead of a Point.
+
 /// Squared Euclidean distance over the first `dim` coordinates.
-double SquaredDistance(const Point& a, const Point& b, int dim);
+inline double SquaredDistance(const Point& a, const Point& b, int dim) {
+  double s = 0;
+  for (int i = 0; i < dim; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+/// Squared distance between `a` and the `dim` doubles at `b`.
+inline double SquaredDistancePacked(const Point& a, const double* b, int dim) {
+  double s = 0;
+  for (int i = 0; i < dim; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+/// True when dist(a, b)^2 <= r_sq, exiting as soon as the partial sum
+/// exceeds r_sq. Partial sums are monotone under IEEE rounding (each added
+/// term is non-negative), so the verdict is bit-identical to comparing the
+/// full SquaredDistance — only cheaper when the answer is "no".
+inline bool WithinSquared(const Point& a, const Point& b, int dim,
+                          double r_sq) {
+  double s = 0;
+  for (int i = 0; i < dim; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+    if (s > r_sq) return false;
+  }
+  return true;
+}
+
+/// WithinSquared against packed coordinates.
+inline bool WithinSquaredPacked(const Point& a, const double* b, int dim,
+                                double r_sq) {
+  double s = 0;
+  for (int i = 0; i < dim; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+    if (s > r_sq) return false;
+  }
+  return true;
+}
 
 /// Euclidean distance over the first `dim` coordinates.
-double Distance(const Point& a, const Point& b, int dim);
+inline double Distance(const Point& a, const Point& b, int dim) {
+  return std::sqrt(SquaredDistance(a, b, dim));
+}
 
 /// True when dist(a, b) <= r, computed without a square root.
-bool WithinDistance(const Point& a, const Point& b, int dim, double r);
+inline bool WithinDistance(const Point& a, const Point& b, int dim, double r) {
+  return WithinSquared(a, b, dim, r * r);
+}
 
 }  // namespace ddc
 

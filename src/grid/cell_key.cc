@@ -1,36 +1,8 @@
 #include "grid/cell_key.h"
 
-#include <cmath>
 #include <sstream>
 
 namespace ddc {
-
-CellKey CellKey::Of(const Point& p, int dim, double side) {
-  CellKey k;
-  for (int i = 0; i < dim; ++i) {
-    k.c_[i] = static_cast<int32_t>(std::floor(p[i] / side));
-  }
-  return k;
-}
-
-CellKey CellKey::Shifted(const std::array<int32_t, kMaxDim>& offset,
-                         int dim) const {
-  CellKey k = *this;
-  for (int i = 0; i < dim; ++i) k.c_[i] += offset[i];
-  return k;
-}
-
-uint64_t CellKey::Hash() const {
-  // splitmix64-style mixing of each coordinate.
-  uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (int i = 0; i < kMaxDim; ++i) {
-    uint64_t z = h + 0x9e3779b97f4a7c15ULL * (static_cast<uint32_t>(c_[i]) + 1);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    h = z ^ (z >> 31);
-  }
-  return h;
-}
 
 std::string CellKey::ToString(int dim) const {
   std::ostringstream out;

@@ -2,6 +2,7 @@
 #define DDC_GRID_CELL_KEY_H_
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -18,7 +19,13 @@ class CellKey {
   CellKey() : c_{} {}
 
   /// Key of the cell covering `p` on a grid with the given side length.
-  static CellKey Of(const Point& p, int dim, double side);
+  static CellKey Of(const Point& p, int dim, double side) {
+    CellKey k;
+    for (int i = 0; i < dim; ++i) {
+      k.c_[i] = static_cast<int32_t>(std::floor(p[i] / side));
+    }
+    return k;
+  }
 
   int32_t operator[](int i) const { return c_[i]; }
   int32_t& operator[](int i) { return c_[i]; }
@@ -28,10 +35,35 @@ class CellKey {
   }
 
   /// Key translated by `offset` (component-wise, first `dim` coordinates).
-  CellKey Shifted(const std::array<int32_t, kMaxDim>& offset, int dim) const;
+  CellKey Shifted(const std::array<int32_t, kMaxDim>& offset, int dim) const {
+    CellKey k = *this;
+    for (int i = 0; i < dim; ++i) k.c_[i] += offset[i];
+    return k;
+  }
 
-  /// 64-bit mixing hash over all coordinates.
-  uint64_t Hash() const;
+  /// Independent hash contribution of coordinate value `c` on dimension `i`.
+  /// The full hash is the wrapping sum of the per-dimension terms — a
+  /// *decomposable* design: the hash of a translated key is the base hash
+  /// plus the term deltas of the changed dimensions, which is how the grid
+  /// probes its whole neighbor-offset table without re-mixing every key
+  /// (see Grid::ForEachMaterializedShifted).
+  static uint64_t DimTerm(int i, int32_t c) {
+    // splitmix64 finalizer over (dimension, coordinate); each dimension gets
+    // its own stream via the high 32 bits.
+    uint64_t z = (static_cast<uint64_t>(static_cast<uint32_t>(i + 1)) << 32) ^
+                 static_cast<uint32_t>(c);
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// 64-bit hash: wrapping sum of DimTerm over all kMaxDim coordinates.
+  uint64_t Hash() const {
+    uint64_t h = 0;
+    for (int i = 0; i < kMaxDim; ++i) h += DimTerm(i, c_[i]);
+    return h;
+  }
 
   std::string ToString(int dim) const;
 
@@ -39,7 +71,7 @@ class CellKey {
   std::array<int32_t, kMaxDim> c_;
 };
 
-/// Hash functor for unordered containers.
+/// Hash functor for hash containers.
 struct CellKeyHash {
   size_t operator()(const CellKey& k) const {
     return static_cast<size_t>(k.Hash());

@@ -1,5 +1,6 @@
 #include "grid/grid.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -13,26 +14,50 @@ Grid::Grid(int dim, double eps)
       offsets_(dim, side_, eps) {
   DDC_CHECK(dim >= 1 && dim <= kMaxDim);
   DDC_CHECK(eps > 0);
+  DDC_CHECK(offsets_.radius() <= kMaxOffsetRadius);
+  for (int i = dim_; i < kMaxDim; ++i) {
+    zero_tail_hash_ += CellKey::DimTerm(i, 0);
+  }
 }
 
-bool Grid::KeysAreEpsClose(const CellKey& a, const CellKey& b) const {
-  // Same gap formula (and fp tolerance) as NeighborOffsets, so the two
-  // discovery strategies in GetOrCreateCell agree exactly.
+double Grid::KeyGapSq(const CellKey& a, const CellKey& b) const {
   double gap_sq = 0;
   for (int i = 0; i < dim_; ++i) {
     const int g = std::abs(a[i] - b[i]) - 1;
     if (g > 0) gap_sq += static_cast<double>(g) * g * side_ * side_;
   }
-  return gap_sq <= eps_ * eps_ * (1 + 1e-12);
+  return gap_sq;
+}
+
+bool Grid::KeysAreEpsClose(const CellKey& a, const CellKey& b) const {
+  // Same gap formula (and fp tolerance) as NeighborOffsets, so the two
+  // discovery strategies in GetOrCreateCell agree exactly.
+  return KeyGapSq(a, b) <= eps_ * eps_ * (1 + 1e-12);
+}
+
+void Grid::LinkNeighbors(CellId a, CellId b) {
+  const double gap = KeyGapSq(cells_[a].key, cells_[b].key);
+  for (const auto& [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+    Cell& cell = cells_[from];
+    const auto it = std::upper_bound(cell.neighbor_gaps.begin(),
+                                     cell.neighbor_gaps.end(), gap);
+    const size_t pos = static_cast<size_t>(it - cell.neighbor_gaps.begin());
+    cell.neighbor_gaps.insert(it, gap);
+    cell.neighbors.insert(cell.neighbors.begin() + pos, to);
+  }
 }
 
 Grid::InsertResult Grid::Insert(const Point& p) {
   const PointId id = static_cast<PointId>(records_.size());
   const CellKey key = CellKey::Of(p, dim_, side_);
   bool created = false;
-  const CellId c = GetOrCreateCell(key, &created);
-  records_.push_back(PointRecord{p, c, static_cast<int32_t>(cells_[c].points.size())});
-  cells_[c].points.push_back(id);
+  const CellId c = GetOrCreateCell(key, HashKey(key), &created);
+  Cell& cell = cells_[c];
+  records_.push_back(
+      PointRecord{p, c, static_cast<int32_t>(cell.points.size())});
+  cell.points.push_back(id);
+  cell.coords.insert(cell.coords.end(), p.data(), p.data() + dim_);
+  ++sizes_[c];
   ++alive_;
   return InsertResult{id, c, created};
 }
@@ -42,14 +67,21 @@ CellId Grid::Delete(PointId id) {
   PointRecord& rec = records_[id];
   const CellId c = rec.cell;
   Cell& cell = cells_[c];
-  // Swap-remove from the cell's point list.
+  // Swap-remove from the cell's point list and the mirrored coords.
   const int32_t pos = rec.index_in_cell;
   const PointId last = cell.points.back();
   cell.points[pos] = last;
   records_[last].index_in_cell = pos;
   cell.points.pop_back();
+  double* coords = cell.coords.data();
+  const size_t last_start = cell.coords.size() - dim_;
+  for (int i = 0; i < dim_; ++i) {
+    coords[pos * dim_ + i] = coords[last_start + i];
+  }
+  cell.coords.resize(last_start);
   rec.cell = kInvalidCell;
   rec.index_in_cell = -1;
+  --sizes_[c];
   --alive_;
   return c;
 }
@@ -65,40 +97,35 @@ Box Grid::cell_box(CellId c) const {
 }
 
 CellId Grid::FindCell(const Point& p) const {
-  const auto it = cell_index_.find(CellKey::Of(p, dim_, side_));
-  return it == cell_index_.end() ? kInvalidCell : it->second;
+  const CellKey key = CellKey::Of(p, dim_, side_);
+  const CellId* c = cell_index_.FindHashed(HashKey(key), key);
+  return c == nullptr ? kInvalidCell : *c;
 }
 
-CellId Grid::GetOrCreateCell(const CellKey& key, bool* created) {
-  const auto it = cell_index_.find(key);
-  if (it != cell_index_.end()) {
+CellId Grid::GetOrCreateCell(const CellKey& key, uint64_t key_hash,
+                             bool* created) {
+  if (const CellId* found = cell_index_.FindHashed(key_hash, key)) {
     *created = false;
-    return it->second;
+    return *found;
   }
   const CellId c = static_cast<CellId>(cells_.size());
-  cells_.push_back(Cell{key, {}, {}});
-  cell_index_.emplace(key, c);
+  cells_.push_back(Cell{key, {}, {}, {}, {}});
+  sizes_.push_back(0);
+  keys_.push_back(key);
+  cell_index_.EmplaceHashed(key_hash, key, c);
   // Link with every already-materialized ε-close cell; links are symmetric
   // and permanent (cells are never destroyed). Two discovery strategies with
   // identical outcomes: probing the translation-independent offset table, or
   // scanning all existing cells — the offset table grows like (2√d+3)^d
   // (~260k entries at d=7), so whichever side is smaller wins.
-  Cell& me = cells_[c];
   if (cells_.size() - 1 < offsets_.offsets().size()) {
     for (CellId other = 0; other < c; ++other) {
-      if (KeysAreEpsClose(key, cells_[other].key)) {
-        me.neighbors.push_back(other);
-        cells_[other].neighbors.push_back(c);
-      }
+      if (KeysAreEpsClose(key, cells_[other].key)) LinkNeighbors(c, other);
     }
   } else {
-    for (const auto& off : offsets_.offsets()) {
-      const auto nb = cell_index_.find(key.Shifted(off, dim_));
-      if (nb != cell_index_.end() && nb->second != c) {
-        me.neighbors.push_back(nb->second);
-        cells_[nb->second].neighbors.push_back(c);
-      }
-    }
+    ForEachMaterializedShifted(key, key_hash, [&](CellId nb) {
+      if (nb != c) LinkNeighbors(c, nb);
+    });
   }
   *created = true;
   return c;

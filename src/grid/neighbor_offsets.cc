@@ -12,6 +12,7 @@ NeighborOffsets::NeighborOffsets(int dim, double side, double eps) : dim_(dim) {
   // Offsets beyond R in any coordinate are separated by more than eps:
   // an offset of |z| contributes boundary gap (|z| - 1) * side.
   const int radius = static_cast<int>(std::floor(eps / side)) + 1;
+  radius_ = radius;
   const double eps_sq = eps * eps * (1 + 1e-12);  // Tolerate fp noise on ties.
 
   std::array<int32_t, kMaxDim> z{};

@@ -31,8 +31,12 @@ class NeighborOffsets {
 
   int dim() const { return dim_; }
 
+  /// Every offset component lies in [-radius(), radius()].
+  int radius() const { return radius_; }
+
  private:
   int dim_;
+  int radius_;
   std::vector<std::array<int32_t, kMaxDim>> offsets_;
 };
 

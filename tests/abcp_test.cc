@@ -34,7 +34,6 @@ class AbcpHarness {
     p[0] = rng_.NextDouble(0, side_) + (which == 0 ? 0.0 : side_);
     p[1] = rng_.NextDouble(0, side_);
     const PointId id = grid_.Insert(p).id;
-    s.members.insert(id);
     s.core_set->Insert(id);
     s.log.push_back(id);
     inst_.OnCoreInsert(grid_, s1_, s2_);
@@ -43,15 +42,21 @@ class AbcpHarness {
 
   void Remove(int which, PointId id) {
     CellCoreState& s = which == 0 ? s1_ : s2_;
-    ASSERT_EQ(s.members.erase(id), 1u);
+    ASSERT_TRUE(s.core_set->Contains(id));
     s.core_set->Remove(id);
     inst_.OnCoreRemove(grid_, s1_, s2_, which == 0 ? 0 : 1, id);
   }
 
+  static std::vector<PointId> Members(const CellCoreState& s) {
+    std::vector<PointId> out;
+    s.core_set->ForEach([&](PointId p) { out.push_back(p); });
+    return out;
+  }
+
   /// True when some cross pair is within eps (the "must have witness" case).
   bool OracleHasClosePair() const {
-    for (const PointId a : s1_.members) {
-      for (const PointId b : s2_.members) {
+    for (const PointId a : Members(s1_)) {
+      for (const PointId b : Members(s2_)) {
         if (WithinDistance(grid_.point(a), grid_.point(b), 2, params_.eps)) {
           return true;
         }
@@ -64,8 +69,8 @@ class AbcpHarness {
   void CheckContract() const {
     if (inst_.has_witness()) {
       // Witness endpoints must be current members within (1+rho)*eps.
-      ASSERT_EQ(s1_.members.count(inst_.w1()), 1u);
-      ASSERT_EQ(s2_.members.count(inst_.w2()), 1u);
+      ASSERT_TRUE(s1_.core_set->Contains(inst_.w1()));
+      ASSERT_TRUE(s2_.core_set->Contains(inst_.w2()));
       ASSERT_LE(Distance(grid_.point(inst_.w1()), grid_.point(inst_.w2()), 2),
                 params_.eps_outer() * (1 + 1e-12));
     } else {

@@ -38,7 +38,7 @@ TEST_P(RelaxedTrackerTest, StatusStaysInsideBand) {
       if (tracker.is_core(id)) tracker.ClearCore(id);
       const CellId cell = grid.Delete(id);
       counter.OnDelete(id, cell);
-      tracker.OnDelete(cell, noop_demote);
+      tracker.OnDelete(id, cell, noop_demote);
       alive[i] = alive.back();
       alive.pop_back();
     }
@@ -87,7 +87,7 @@ TEST(RelaxedTrackerTest, PromotionsAndDemotionsFire) {
   if (tracker.is_core(ids[0])) tracker.ClearCore(ids[0]);
   const CellId cell = grid.Delete(ids[0]);
   counter.OnDelete(ids[0], cell);
-  tracker.OnDelete(cell, on_demote);
+  tracker.OnDelete(ids[0], cell, on_demote);
   EXPECT_EQ(demoted.size(), 2u);
   EXPECT_FALSE(tracker.is_core(ids[1]));
   EXPECT_FALSE(tracker.is_core(ids[2]));

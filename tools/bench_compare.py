@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Compare two sets of BENCH JSON files emitted by ddc_driver.
+
+Usage:
+    tools/bench_compare.py BASELINE_DIR CANDIDATE_DIR [--threshold=R]
+
+Pairs files by (scenario, method), prints per-pair throughput ratios
+(candidate / baseline, > 1 is faster) plus p50/p99 update-latency ratios,
+and a geometric-mean summary per method. Files present on only one side are
+listed but not compared.
+
+Exit status is always 0 unless --threshold is given: then any compared pair
+whose throughput ratio falls below R fails the run (useful as a CI gate; the
+default wiring in .github/workflows/ci.yml runs without a threshold, as a
+non-blocking report).
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+
+def load_bench_dir(path):
+    """(scenario, method) -> parsed BENCH document."""
+    docs = {}
+    for f in sorted(Path(path).glob("BENCH_*.json")):
+        with open(f) as fh:
+            doc = json.load(fh)
+        docs[(doc["scenario"], doc["method"])] = doc
+    return docs
+
+
+def latency_quantile(doc, op, q):
+    hist = doc.get("latency_us", {}).get(op)
+    if not hist or not hist.get("count"):
+        return None
+    return hist.get(q)
+
+
+def fmt_ratio(r):
+    return "     n/a" if r is None else f"{r:7.2f}x"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH JSON directories.")
+    parser.add_argument("baseline", help="directory with baseline BENCH_*.json")
+    parser.add_argument("candidate",
+                        help="directory with candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="fail if any throughput ratio is below this")
+    args = parser.parse_args()
+
+    base = load_bench_dir(args.baseline)
+    cand = load_bench_dir(args.candidate)
+    if not base:
+        print(f"no BENCH_*.json files in {args.baseline}", file=sys.stderr)
+        return 2
+    if not cand:
+        print(f"no BENCH_*.json files in {args.candidate}", file=sys.stderr)
+        return 2
+
+    common = sorted(base.keys() & cand.keys())
+    only_base = sorted(base.keys() - cand.keys())
+    only_cand = sorted(cand.keys() - base.keys())
+
+    print(f"baseline : {args.baseline} ({len(base)} files)")
+    print(f"candidate: {args.candidate} ({len(cand)} files)")
+    print()
+    header = (f"{'scenario':<16} {'method':<16} {'thru-ratio':>10} "
+              f"{'p50-upd':>8} {'p99-upd':>8}  note")
+    print(header)
+    print("-" * len(header))
+
+    failures = []
+    per_method = {}
+    for key in common:
+        scenario, method = key
+        b, c = base[key], cand[key]
+        bt = b["run"]["throughput_ops_per_sec"]
+        ct = c["run"]["throughput_ops_per_sec"]
+        ratio = ct / bt if bt > 0 else None
+
+        # Latency ratios are baseline/candidate so that > 1 is faster, like
+        # the throughput ratio.
+        lat = []
+        for q in ("p50", "p99"):
+            bq = latency_quantile(b, "insert", q)
+            cq = latency_quantile(c, "insert", q)
+            lat.append(bq / cq if bq and cq else None)
+
+        notes = []
+        if b["run"]["timed_out"] or c["run"]["timed_out"]:
+            notes.append("TIMEOUT")
+        if b.get("params") != c.get("params"):
+            notes.append("params differ")
+        if b.get("seed") != c.get("seed"):
+            notes.append("seeds differ")
+        if (b["workload"]["num_updates"] != c["workload"]["num_updates"]):
+            notes.append("N differs")
+
+        print(f"{scenario:<16} {method:<16} {fmt_ratio(ratio):>10} "
+              f"{fmt_ratio(lat[0]):>8} {fmt_ratio(lat[1]):>8}  "
+              f"{' '.join(notes)}")
+
+        if ratio is not None:
+            per_method.setdefault(method, []).append(ratio)
+            if args.threshold is not None and ratio < args.threshold:
+                failures.append((scenario, method, ratio))
+
+    for key in only_base:
+        print(f"{key[0]:<16} {key[1]:<16} {'(baseline only)':>10}")
+    for key in only_cand:
+        print(f"{key[0]:<16} {key[1]:<16} {'(candidate only)':>10}")
+
+    print()
+    for method, ratios in sorted(per_method.items()):
+        geo = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        print(f"geomean {method}: {geo:.2f}x over {len(ratios)} scenario(s)")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} pair(s) below threshold "
+              f"{args.threshold}:", file=sys.stderr)
+        for scenario, method, ratio in failures:
+            print(f"  {scenario}/{method}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
