@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/check.h"
 
@@ -25,30 +24,12 @@ CGroupByResult RunCGroupByQuery(const Grid& grid,
 
   for (const PointId pid : q) {
     if (!grid.alive(pid)) continue;
-    const CellId c = grid.cell_of(pid);
-    if (hooks.is_core(pid)) {
-      // A core point lives in a core cell; its cluster is the cell's CC.
-      DDC_DCHECK(hooks.is_core_cell(c));
-      buckets[hooks.cc_id(c)].push_back(pid);
-      continue;
-    }
-    // Non-core: snap to every ε-close core cell (and the own cell) whose
-    // emptiness query produces a proof point. Distinct CCs may repeat over
-    // cells, hence the local set.
-    const Point& p = grid.point(pid);
-    std::unordered_set<uint64_t> assigned;
-    auto consider = [&](CellId cell) {
-      if (!hooks.is_core_cell(cell)) return;
-      if (hooks.empty(p, cell) == kInvalidPoint) return;
-      assigned.insert(hooks.cc_id(cell));
-    };
-    consider(c);
-    for (const CellId nb : grid.cell(c).neighbors) consider(nb);
-    if (assigned.empty()) {
-      result.noise.push_back(pid);
-    } else {
-      for (const uint64_t cc : assigned) buckets[cc].push_back(pid);
-    }
+    bool any = false;
+    ForEachMembershipLabel(grid, pid, hooks, [&](uint64_t cc) {
+      any = true;
+      buckets[cc].push_back(pid);
+    });
+    if (!any) result.noise.push_back(pid);
   }
 
   result.groups.reserve(buckets.size());

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_set>
 #include <vector>
 
+#include "common/check.h"
 #include "core/clusterer.h"
 #include "geom/point.h"
 #include "grid/grid.h"
@@ -34,6 +36,39 @@ struct QueryHooks {
 CGroupByResult RunCGroupByQuery(const Grid& grid,
                                 const std::vector<PointId>& q,
                                 const QueryHooks& hooks);
+
+/// The per-point core of RunCGroupByQuery: invokes `fn(label)` once per
+/// distinct cluster (CC id) containing `pid` — nothing for a noise point. A
+/// core point contributes exactly its cell's CC; a non-core point
+/// contributes the CC of every ε-close core cell whose emptiness query
+/// certifies a proof point. `pid` must be alive in `grid`. Exposed so
+/// composite engines (the sharded clusterer) can merge memberships computed
+/// by several underlying clusterers before grouping. Templated on the
+/// callback so the per-point query path never materializes a std::function.
+template <typename Fn>
+void ForEachMembershipLabel(const Grid& grid, PointId pid,
+                            const QueryHooks& hooks, Fn&& fn) {
+  DDC_DCHECK(grid.alive(pid));
+  const CellId c = grid.cell_of(pid);
+  if (hooks.is_core(pid)) {
+    // A core point lives in a core cell; its cluster is the cell's CC.
+    DDC_DCHECK(hooks.is_core_cell(c));
+    fn(hooks.cc_id(c));
+    return;
+  }
+  // Non-core: snap to every ε-close core cell (and the own cell) whose
+  // emptiness query produces a proof point. Distinct CCs may repeat over
+  // cells, hence the local set.
+  const Point& p = grid.point(pid);
+  std::unordered_set<uint64_t> assigned;
+  auto consider = [&](CellId cell) {
+    if (!hooks.is_core_cell(cell)) return;
+    if (hooks.empty(p, cell) == kInvalidPoint) return;
+    if (assigned.insert(hooks.cc_id(cell)).second) fn(hooks.cc_id(cell));
+  };
+  consider(c);
+  for (const CellId nb : grid.cell(c).neighbors) consider(nb);
+}
 
 }  // namespace ddc
 

@@ -50,6 +50,13 @@ class Clusterer {
   /// (path compression, splaying), never the clustering itself.
   virtual CGroupByResult Query(const std::vector<PointId>& q) = 0;
 
+  /// Blocks until every previously submitted update is fully applied.
+  /// Synchronous clusterers are always caught up — the default is a no-op.
+  /// Batched/asynchronous engines (the sharded clusterer) override it; the
+  /// workload runner calls it before closing a run's timing window so
+  /// throughput never counts enqueued-but-unapplied work as done.
+  virtual void Flush() {}
+
   /// Convenience: C-group-by with Q = all alive points, i.e., the full
   /// clustering C(P).
   CGroupByResult QueryAll();

@@ -101,6 +101,7 @@ void FullyDynamicClusterer::DestroyInstance(CellId a, CellId b,
 }
 
 void FullyDynamicClusterer::OnCorePromoted(PointId p, CellId cell) {
+  if (core_observer_) core_observer_(p, true);
   CellCoreState& s = State(cell);
   const bool was_core_cell = s.is_core_cell();
   s.core_set->Insert(p);
@@ -129,6 +130,7 @@ void FullyDynamicClusterer::OnCorePromoted(PointId p, CellId cell) {
 }
 
 void FullyDynamicClusterer::OnCoreDemoted(PointId p, CellId cell) {
+  if (core_observer_) core_observer_(p, false);
   CellCoreState& s = State(cell);
   s.core_set->Remove(p);
 
@@ -154,7 +156,7 @@ void FullyDynamicClusterer::OnCoreDemoted(PointId p, CellId cell) {
   }
 }
 
-CGroupByResult FullyDynamicClusterer::Query(const std::vector<PointId>& q) {
+QueryHooks FullyDynamicClusterer::MakeHooks() {
   QueryHooks hooks;
   hooks.is_core = [this](PointId p) { return tracker_.is_core(p); };
   hooks.is_core_cell = [this](CellId c) {
@@ -165,7 +167,23 @@ CGroupByResult FullyDynamicClusterer::Query(const std::vector<PointId>& q) {
   hooks.empty = [this](const Point& pt, CellId c) {
     return cells_[c].core_set->Query(pt);
   };
-  return RunCGroupByQuery(grid_, q, hooks);
+  return hooks;
+}
+
+CGroupByResult FullyDynamicClusterer::Query(const std::vector<PointId>& q) {
+  return RunCGroupByQuery(grid_, q, MakeHooks());
+}
+
+uint64_t FullyDynamicClusterer::CoreLabelOf(PointId p) {
+  DDC_DCHECK(tracker_.is_core(p));
+  return cc_->ComponentId(grid_.cell_of(p));
+}
+
+void FullyDynamicClusterer::MembershipLabels(PointId p,
+                                             std::vector<uint64_t>* out) {
+  DDC_CHECK(grid_.alive(p));
+  ForEachMembershipLabel(grid_, p, MakeHooks(),
+                         [out](uint64_t cc) { out->push_back(cc); });
 }
 
 std::vector<PointId> FullyDynamicClusterer::AlivePoints() const {

@@ -1,12 +1,15 @@
 #ifndef DDC_CORE_FULLY_DYNAMIC_CLUSTERER_H_
 #define DDC_CORE_FULLY_DYNAMIC_CLUSTERER_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/flat_hash.h"
 #include "connectivity/dynamic_connectivity.h"
 #include "core/abcp.h"
+#include "core/cluster_query.h"
 #include "core/clusterer.h"
 #include "core/emptiness.h"
 #include "core/params.h"
@@ -60,12 +63,34 @@ class FullyDynamicClusterer : public Clusterer {
   }
   const Grid& grid() const { return grid_; }
 
+  /// Observer of core-status transitions: invoked as `obs(p, now_core)`
+  /// immediately after point `p` turns core (true) or loses core status
+  /// (false), including the self-demotion of a point being deleted. The
+  /// sharded engine uses this to maintain boundary core sets incrementally;
+  /// unset (the default) costs nothing on the update path.
+  using CoreObserver = std::function<void(PointId, bool)>;
+  void set_core_observer(CoreObserver obs) { core_observer_ = std::move(obs); }
+
+  /// CC label of the cluster containing core point `p` (the component id of
+  /// its cell in the grid graph). Labels are stable between updates and
+  /// compare equal iff two core points share a cluster. `p` must be core.
+  uint64_t CoreLabelOf(PointId p);
+
+  /// Appends the CC label of every cluster containing alive point `p`
+  /// (deduped; nothing for noise) — the same labels Query buckets by. A core
+  /// point yields exactly its cell's component; a non-core point yields one
+  /// label per ε-close core cell with an emptiness proof.
+  void MembershipLabels(PointId p, std::vector<uint64_t>* out);
+
  private:
   /// GUM (Section 7.4).
   void OnCorePromoted(PointId p, CellId cell);
   void OnCoreDemoted(PointId p, CellId cell);
 
   CellCoreState& State(CellId c);
+
+  /// The query callbacks, shared by Query and MembershipLabels.
+  QueryHooks MakeHooks();
 
   void CreateInstance(CellId a, CellId b);
   void DestroyInstance(CellId a, CellId b, int32_t instance);
@@ -85,6 +110,7 @@ class FullyDynamicClusterer : public Clusterer {
   std::vector<int32_t> free_instances_;
   /// Shared per-point slot registry for the cells' emptiness structures.
   std::vector<int32_t> core_slots_;
+  CoreObserver core_observer_;
   int64_t num_edges_ = 0;
 };
 

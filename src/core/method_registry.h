@@ -10,32 +10,74 @@
 
 namespace ddc {
 
-/// Name-keyed factory over the five algorithm configurations of Section
-/// 8.1's evaluation, shared by the figure benches and `ddc_driver`:
-///   "2d-semi-exact"  — Theorem 1 with rho = 0 (exact DBSCAN, insert-only)
-///   "semi-approx"    — Theorem 1, ρ-approximate, insert-only
-///   "2d-full-exact"  — Theorem 4 with rho = 0 (exact DBSCAN, fully dynamic)
-///   "double-approx"  — Theorem 4, ρ-double-approximate, fully dynamic
-///   "inc-dbscan"     — the IncDBSCAN baseline [8]
-/// Exact methods force rho to 0 regardless of `params.rho`. Aborts on an
-/// unknown name (use FindMethod/MethodNames to probe first).
-std::unique_ptr<Clusterer> MakeMethod(const std::string& name,
+/// Name-keyed factory over the algorithm configurations the benches and
+/// `ddc_driver` run, extended with the sharded engine. A method is selected
+/// by a *spec* in the same mini-grammar the scenarios use:
+///
+///   spec := name [ ':' key '=' value ( ',' key '=' value )* ]
+///
+/// Methods (Section 8.1's evaluation plus the engine):
+///   "2d-semi-exact"         — Theorem 1 with rho = 0 (exact, insert-only)
+///   "semi-approx"           — Theorem 1, ρ-approximate, insert-only
+///   "2d-full-exact"         — Theorem 4 with rho = 0 (exact, fully dynamic)
+///   "double-approx"         — Theorem 4, ρ-double-approximate, fully dynamic
+///   "inc-dbscan"            — the IncDBSCAN baseline [8]
+///   "sharded-double-approx" — Theorem 4 sharded over worker threads
+///                             (knobs: shards, threads, batch, warmup)
+/// Exact methods force rho to 0 regardless of `params.rho`.
+
+/// One tunable of a method spec.
+struct MethodKnob {
+  std::string key;
+  std::string help;
+};
+
+/// Registry entry: identity, documentation, and capabilities of one method.
+struct MethodInfo {
+  std::string name;
+  std::string summary;
+  std::vector<MethodKnob> knobs;
+  bool supports_deletes = true;
+  bool forces_exact = false;  // rho pinned to 0
+};
+
+/// All registered methods, in registry order.
+const std::vector<MethodInfo>& AllMethodInfos();
+
+/// Human-readable listing of every method, its capabilities and knobs —
+/// the same text the registry prints before aborting on a bad spec.
+std::string MethodHelp();
+
+/// Builds the clusterer a spec describes. Aborts on an unknown method name,
+/// an unknown knob, or an out-of-range knob value, after printing the full
+/// method/knob listing to stderr (use ValidateMethodSpec to probe first).
+std::unique_ptr<Clusterer> MakeMethod(const std::string& spec,
                                       DbscanParams params);
 
-/// All registered method names, in the order above.
+/// Non-aborting spec check: true when MakeMethod would accept `spec`. On
+/// failure describes the problem — including the registered methods and the
+/// offending method's knobs — in `*why` (may be nullptr).
+bool ValidateMethodSpec(const std::string& spec, std::string* why);
+
+/// All registered method names (base names, no knobs), in registry order.
 const std::vector<std::string>& MethodNames();
 
-/// True when `name` is registered.
-bool IsMethod(const std::string& name);
+/// The base method name of a spec: everything before the first ':'. The one
+/// place the spec-to-name rule lives — every helper below goes through it.
+std::string MethodBaseName(const std::string& spec);
+
+/// True when the *base name* of `spec` (the part before ':') is registered.
+bool IsMethod(const std::string& spec);
 
 /// False for the semi-dynamic (insertion-only) methods, whose Delete
-/// aborts; drivers skip those on workloads containing deletions.
-bool MethodSupportsDeletes(const std::string& name);
+/// aborts; drivers skip those on workloads containing deletions. Accepts
+/// full specs.
+bool MethodSupportsDeletes(const std::string& spec);
 
-/// The parameters `name` actually runs with: identical to `params` except
+/// The parameters `spec` actually runs with: identical to `params` except
 /// that exact methods force rho to 0. MakeMethod applies this itself;
 /// reporting code uses it so recorded provenance matches the executed run.
-DbscanParams EffectiveParams(const std::string& name, DbscanParams params);
+DbscanParams EffectiveParams(const std::string& spec, DbscanParams params);
 
 /// The paper's default parameters (Table 2): eps = eps_over_d * d,
 /// MinPts = 10, rho = 0.001 for approximate methods (forced to 0 for the

@@ -1,0 +1,58 @@
+#include "engine/shard_map.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ddc {
+
+ShardMap::ShardMap(int shards, int dim, double halo)
+    : shards_(shards), dim_(dim), halo_(halo) {
+  DDC_CHECK(shards >= 1);
+  DDC_CHECK(dim >= 1 && dim <= kMaxDim);
+  DDC_CHECK(halo >= 0);
+}
+
+void ShardMap::InitFromSample(const std::vector<Point>& sample) {
+  DDC_CHECK(!initialized_);
+  initialized_ = true;
+  // A single shard owns everything: HoldersOf is {0} and NearBoundary is
+  // false regardless of slab geometry.
+  if (shards_ == 1) return;
+  if (!sample.empty()) {
+    double best_spread = -1;
+    for (int i = 0; i < dim_; ++i) {
+      double lo = sample[0][i], hi = sample[0][i];
+      for (const Point& p : sample) {
+        lo = std::min(lo, p[i]);
+        hi = std::max(hi, p[i]);
+      }
+      if (hi - lo > best_spread) {
+        best_spread = hi - lo;
+        split_dim_ = i;
+        lo_ = lo;
+        width_ = (hi - lo) / static_cast<double>(shards_);
+      }
+    }
+  }
+  // Zero spread (identical sample points) or no sample at all: keep width 1
+  // so SlabIndex stays well defined; the floor below still applies.
+  if (width_ <= 0) width_ = 1;
+  // Slabs narrower than 2·halo would replicate every point into several
+  // shards and register nearly every core point with the stitcher — an
+  // unrepresentative (or empty) warmup sample must degrade toward fewer
+  // effective shards, not toward all-pairs stitching. Width >= 2·halo caps
+  // the replication factor at 2.
+  width_ = std::max(width_, 2 * halo_);
+}
+
+int ShardMap::SlabIndex(double x) const {
+  const double idx = std::floor((x - lo_) / width_);
+  // Clamp in double space first: a wildly distant point must not overflow
+  // the int conversion.
+  if (idx < 0) return -1;
+  if (idx >= static_cast<double>(shards_)) return shards_;
+  return static_cast<int>(idx);
+}
+
+}  // namespace ddc

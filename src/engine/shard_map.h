@@ -1,0 +1,96 @@
+#ifndef DDC_ENGINE_SHARD_MAP_H_
+#define DDC_ENGINE_SHARD_MAP_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "geom/point.h"
+
+namespace ddc {
+
+/// The engine's spatial partition: S half-open slabs of equal width along
+/// one dimension, chosen as the spread-maximizing dimension of a warmup
+/// sample. The two end slabs extend to ±infinity (owner indices clamp), so
+/// every point has exactly one owner.
+///
+/// Sharding is sound because the paper's machinery is spatially local: a
+/// point's core status and its grid-graph edges depend only on geometry
+/// within (1+ρ)ε. A shard that additionally holds every foreign point whose
+/// slab coordinate lies within that halo of its slab therefore computes
+/// exact counts and core statuses for all the points it owns. HoldersOf
+/// returns that owner-plus-halo shard range (always contiguous; it may span
+/// several shards when slabs are narrower than the halo).
+class ShardMap {
+ public:
+  /// A map for `shards` slabs with the given halo width ((1+ρ)ε in the
+  /// engine). The partition starts uninitialized; all points map to shard 0
+  /// with no replication until InitFromSample fixes the geometry.
+  ShardMap(int shards, int dim, double halo);
+
+  /// Fixes the slab geometry from a sample of the stream: picks the
+  /// dimension with the largest min-max spread and splits [min, max] evenly,
+  /// subject to a minimum slab width of 2·halo (so the replication factor
+  /// never exceeds 2, even when the sample under-represents the stream's
+  /// true extent — upper slabs then simply start out empty). An empty sample
+  /// (or one with zero spread) yields a degenerate but valid partition where
+  /// shard 0 owns everything near the sample. Must be called at most once.
+  void InitFromSample(const std::vector<Point>& sample);
+
+  bool initialized() const { return initialized_; }
+  int shards() const { return shards_; }
+  int dim() const { return dim_; }
+  double halo() const { return halo_; }
+  /// The split dimension / slab geometry (meaningful once initialized).
+  int split_dim() const { return split_dim_; }
+  double lo() const { return lo_; }
+  double slab_width() const { return width_; }
+
+  /// The shard whose slab covers `p` (end slabs absorb outliers).
+  int OwnerOf(const Point& p) const {
+    DDC_DCHECK(initialized_);
+    return ClampShard(SlabIndex(p[split_dim_]));
+  }
+
+  /// Contiguous shard range [first, last] that must hold `p`: the owner plus
+  /// every shard whose slab lies within `halo` of p's coordinate.
+  struct Range {
+    int first;
+    int last;
+  };
+  Range HoldersOf(const Point& p) const {
+    const double x = p[split_dim_];
+    return Range{ClampShard(SlabIndex(x - halo_)),
+                 ClampShard(SlabIndex(x + halo_))};
+  }
+
+  /// True when `p`, owned by `shard`, lies within `halo` of one of the
+  /// shard's finite slab edges — i.e. p is replicated into (or reachable
+  /// from) a neighboring shard and participates in cross-shard stitching.
+  bool NearBoundary(const Point& p, int shard) const {
+    if (shards_ == 1) return false;
+    const double x = p[split_dim_];
+    if (shard > 0 && x < lo_ + static_cast<double>(shard) * width_ + halo_) {
+      return true;
+    }
+    return shard < shards_ - 1 &&
+           x > lo_ + static_cast<double>(shard + 1) * width_ - halo_;
+  }
+
+ private:
+  int SlabIndex(double x) const;
+  int ClampShard(int s) const {
+    return s < 0 ? 0 : (s >= shards_ ? shards_ - 1 : s);
+  }
+
+  int shards_;
+  int dim_;
+  double halo_;
+  bool initialized_ = false;
+  int split_dim_ = 0;
+  double lo_ = 0;
+  double width_ = 1;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_ENGINE_SHARD_MAP_H_

@@ -1,0 +1,379 @@
+#include "engine/sharded_clusterer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ddc {
+
+ShardedClusterer::ShardedClusterer(const DbscanParams& params,
+                                   const Options& options)
+    : params_(params),
+      options_(options),
+      map_(options.shards, params.dim, params.eps_outer()),
+      stitcher_(params.dim, params.eps) {
+  params_.Validate();
+  DDC_CHECK(options_.shards >= 1 && options_.shards <= kMaxShards);
+  DDC_CHECK(options_.threads >= 0 && options_.threads <= kMaxShards);
+  DDC_CHECK(options_.batch >= 1);
+  DDC_CHECK(options_.warmup >= 0);
+  if (options_.threads == 0) options_.threads = options_.shards;
+
+  shards_.reserve(options_.shards);
+  for (int i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    shard->worker = i % options_.threads;
+    shard->clusterer =
+        std::make_unique<FullyDynamicClusterer>(params_, options_.inner);
+    // The observer runs on the shard's worker thread and only touches
+    // worker-side state; Flush's drain hands it to the ingest thread.
+    Shard* s = shard.get();
+    shard->clusterer->set_core_observer([s](PointId local, bool now_core) {
+      s->core_count += now_core ? 1 : -1;
+      if (s->is_boundary[local]) {
+        s->deltas.push_back(CoreDelta{s->global_of[local], now_core,
+                                      s->clusterer->grid().point(local)});
+      }
+    });
+    shards_.push_back(std::move(shard));
+  }
+  pool_ = std::make_unique<ThreadPool>(options_.threads);
+}
+
+ShardedClusterer::~ShardedClusterer() {
+  // Stop the workers before any shard state they touch goes away. The pool
+  // destructor runs every queued batch first.
+  pool_.reset();
+}
+
+PointId ShardedClusterer::Insert(const Point& p) {
+  const PointId gid = static_cast<PointId>(points_.size());
+  points_.push_back(PointRec{});
+  points_[gid].alive = true;
+  ++alive_;
+
+  if (!map_.initialized()) {
+    warmup_buffer_.push_back(Op{gid, true, false, 0, p});
+    ++warmup_inserts_;
+    if (warmup_inserts_ >= options_.warmup) FinishWarmup();
+    return gid;
+  }
+  RouteInsert(gid, p);
+  return gid;
+}
+
+void ShardedClusterer::Delete(PointId id) {
+  DDC_CHECK(id >= 0 && id < static_cast<PointId>(points_.size()) &&
+            points_[id].alive);
+  points_[id].alive = false;
+  --alive_;
+
+  if (!map_.initialized()) {
+    warmup_buffer_.push_back(Op{id, false, false, 0, Point{}});
+    return;
+  }
+  RouteDelete(id);
+}
+
+void ShardedClusterer::RouteInsert(PointId gid, const Point& p) {
+  PointRec& rec = points_[gid];
+  const int owner = map_.OwnerOf(p);
+  const ShardMap::Range holders = map_.HoldersOf(p);
+  DDC_DCHECK(holders.first <= owner && owner <= holders.last);
+  rec.owner = static_cast<uint8_t>(owner);
+  rec.first_holder = static_cast<uint8_t>(holders.first);
+  rec.last_holder = static_cast<uint8_t>(holders.last);
+
+  Op op;
+  op.gid = gid;
+  op.is_insert = true;
+  op.boundary = map_.NearBoundary(p, owner);
+  op.owner = static_cast<uint8_t>(owner);
+  op.point = p;
+  for (int t = holders.first; t <= holders.last; ++t) {
+    EnqueueOp(*shards_[t], op);
+  }
+}
+
+void ShardedClusterer::RouteDelete(PointId gid) {
+  const PointRec& rec = points_[gid];
+  Op op;
+  op.gid = gid;
+  op.is_insert = false;
+  op.boundary = false;
+  op.owner = rec.owner;
+  for (int t = rec.first_holder; t <= rec.last_holder; ++t) {
+    EnqueueOp(*shards_[t], op);
+  }
+}
+
+void ShardedClusterer::EnqueueOp(Shard& shard, const Op& op) {
+  shard.open.push_back(op);
+  if (static_cast<int>(shard.open.size()) >= options_.batch) {
+    PublishShard(shard);
+  }
+}
+
+void ShardedClusterer::PublishShard(Shard& shard) {
+  if (shard.open.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.pending.push_back(std::move(shard.open));
+  }
+  shard.open.clear();
+  pool_->Submit(shard.worker, [this, s = &shard] { ProcessShard(s); });
+}
+
+void ShardedClusterer::ProcessShard(Shard* shard) {
+  // One task is submitted per published batch, so normally this pops exactly
+  // one; the loop also mops up if a prior task consumed several.
+  for (;;) {
+    std::vector<Op> batch;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      if (shard->pending.empty()) return;
+      batch = std::move(shard->pending.front());
+      shard->pending.erase(shard->pending.begin());
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const Op& op : batch) ApplyOp(*shard, op);
+    shard->busy_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    shard->ops_applied += static_cast<int64_t>(batch.size());
+    ++shard->batches_applied;
+    shard->dirty = true;
+  }
+}
+
+void ShardedClusterer::ApplyOp(Shard& shard, const Op& op) {
+  if (op.is_insert) {
+    const bool owned = static_cast<int>(op.owner) == shard.index;
+    // The local id the grid will assign; registered before Insert so the
+    // core observer can translate it the moment the new point promotes.
+    const PointId local =
+        static_cast<PointId>(shard.clusterer->grid().total_inserted());
+    shard.global_of.push_back(op.gid);
+    shard.is_owned.push_back(owned ? 1 : 0);
+    shard.is_boundary.push_back(owned && op.boundary ? 1 : 0);
+    const PointId got = shard.clusterer->Insert(op.point);
+    DDC_CHECK(got == local);
+    shard.local_of[op.gid] = local;
+    (owned ? shard.owned_alive : shard.ghost_alive) += 1;
+    return;
+  }
+  PointId* local = shard.local_of.Find(op.gid);
+  DDC_CHECK(local != nullptr);
+  (shard.is_owned[*local] ? shard.owned_alive : shard.ghost_alive) -= 1;
+  shard.clusterer->Delete(*local);
+  shard.local_of.Erase(op.gid);
+}
+
+void ShardedClusterer::FinishWarmup() {
+  std::vector<Point> sample;
+  sample.reserve(warmup_buffer_.size());
+  for (const Op& op : warmup_buffer_) {
+    if (op.is_insert) sample.push_back(op.point);
+  }
+  map_.InitFromSample(sample);
+
+  // Replay the buffered prefix verbatim — same op order the caller issued,
+  // so shards=1 reproduces the unsharded engine's history exactly.
+  std::vector<Op> buffered;
+  buffered.swap(warmup_buffer_);
+  for (const Op& op : buffered) {
+    if (op.is_insert) {
+      RouteInsert(op.gid, op.point);
+    } else {
+      RouteDelete(op.gid);
+    }
+  }
+}
+
+void ShardedClusterer::Flush() {
+  if (!map_.initialized()) FinishWarmup();
+  for (auto& shard : shards_) PublishShard(*shard);
+  pool_->Drain();
+
+  // Workers are quiescent: fold their boundary transitions into the stitch
+  // registry (per-shard order preserved; cross-shard order is irrelevant —
+  // adds probe the current registry and removes purge their own edges).
+  bool dirty = false;
+  for (auto& shard : shards_) {
+    for (const CoreDelta& d : shard->deltas) {
+      if (d.now_core) {
+        stitcher_.AddCore(shard->index, d.gid, d.point);
+      } else {
+        stitcher_.RemoveCore(d.gid);
+      }
+    }
+    shard->deltas.clear();
+    if (shard->dirty) {
+      dirty = true;
+      shard->dirty = false;
+    }
+  }
+  if (dirty) {
+    // Shard-local component labels are stable only between updates, so any
+    // applied batch invalidates the previous epoch's label table.
+    std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+    stitcher_.Rebuild(
+        [this](PointId gid, std::vector<BoundaryStitcher::LabelKey>* out) {
+          LabelsOf(gid, out);
+        });
+    ++epoch_;
+  }
+}
+
+void ShardedClusterer::LabelsOf(PointId gid,
+                                std::vector<BoundaryStitcher::LabelKey>* out) {
+  const PointRec& rec = points_[gid];
+  auto push = [&](int t) {
+    Shard& s = *shards_[t];
+    const PointId* local = s.local_of.Find(gid);
+    DDC_CHECK(local != nullptr);
+    if (s.clusterer->is_core(*local)) {
+      out->push_back(BoundaryStitcher::LabelKey{
+          t, s.clusterer->CoreLabelOf(*local)});
+    }
+  };
+  push(rec.owner);  // Owner first; owner-core is the registration invariant.
+  for (int t = rec.first_holder; t <= rec.last_holder; ++t) {
+    if (t != rec.owner) push(t);
+  }
+}
+
+void ShardedClusterer::GlobalLabels(PointId id,
+                                    std::vector<ClusterLabel>* out) {
+  const PointRec& rec = points_[id];
+  Shard& owner = *shards_[rec.owner];
+  const PointId* owner_local = owner.local_of.Find(id);
+  DDC_CHECK(owner_local != nullptr);
+
+  if (owner.clusterer->is_core(*owner_local)) {
+    // Core status is owned by the owner shard — it alone sees the point's
+    // full (1+ρ)ε neighborhood — and a core point belongs to exactly one
+    // cluster: its owner-side component, canonicalized through the stitch.
+    out->push_back(stitcher_.Resolve(
+        rec.owner, owner.clusterer->CoreLabelOf(*owner_local)));
+    return;
+  }
+
+  // Owner-non-core: union of the memberships every holding shard computes.
+  // Each holder sees a (possibly truncated) neighborhood, but every true
+  // attachment (core point w within ε) is realized in owner(w)'s shard,
+  // which also holds this point — so the union is complete; the stitch
+  // collapses the per-shard labels of one cluster into one.
+  for (int t = rec.first_holder; t <= rec.last_holder; ++t) {
+    Shard& s = *shards_[t];
+    const PointId* local = s.local_of.Find(id);
+    DDC_CHECK(local != nullptr);
+    label_scratch_.clear();
+    s.clusterer->MembershipLabels(*local, &label_scratch_);
+    for (const uint64_t cc : label_scratch_) {
+      out->push_back(stitcher_.Resolve(t, cc));
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+CGroupByResult ShardedClusterer::Query(const std::vector<PointId>& q) {
+  Flush();
+  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+
+  CGroupByResult result;
+  std::map<ClusterLabel, std::vector<PointId>> buckets;
+  std::vector<ClusterLabel> labels;
+  for (const PointId gid : q) {
+    if (gid < 0 || gid >= static_cast<PointId>(points_.size()) ||
+        !points_[gid].alive) {
+      continue;
+    }
+    labels.clear();
+    GlobalLabels(gid, &labels);
+    if (labels.empty()) {
+      result.noise.push_back(gid);
+      continue;
+    }
+    for (const ClusterLabel& label : labels) {
+      buckets[label].push_back(gid);
+    }
+  }
+  result.groups.reserve(buckets.size());
+  for (auto& [label, members] : buckets) {
+    result.groups.push_back(std::move(members));
+  }
+  return result;
+}
+
+ClusterLabel ShardedClusterer::ClusterIdOf(PointId id) {
+  Flush();
+  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  if (id < 0 || id >= static_cast<PointId>(points_.size()) ||
+      !points_[id].alive) {
+    return kNoCluster;
+  }
+  std::vector<ClusterLabel> labels;
+  GlobalLabels(id, &labels);
+  return labels.empty() ? kNoCluster : labels.front();
+}
+
+bool ShardedClusterer::SameCluster(PointId a, PointId b) {
+  Flush();
+  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  auto valid = [&](PointId id) {
+    return id >= 0 && id < static_cast<PointId>(points_.size()) &&
+           points_[id].alive;
+  };
+  if (!valid(a) || !valid(b)) return false;
+  std::vector<ClusterLabel> la, lb;
+  GlobalLabels(a, &la);
+  GlobalLabels(b, &lb);
+  // Both sorted; any common label means a shared cluster.
+  size_t i = 0, j = 0;
+  while (i < la.size() && j < lb.size()) {
+    if (la[i] == lb[j]) return true;
+    if (la[i] < lb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+std::vector<PointId> ShardedClusterer::AlivePoints() const {
+  std::vector<PointId> ids;
+  ids.reserve(alive_);
+  for (PointId gid = 0; gid < static_cast<PointId>(points_.size()); ++gid) {
+    if (points_[gid].alive) ids.push_back(gid);
+  }
+  return ids;
+}
+
+std::vector<ShardOccupancy> ShardedClusterer::ShardTelemetry() {
+  Flush();
+  std::vector<ShardOccupancy> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardOccupancy s;
+    s.shard = shard->index;
+    s.worker = shard->worker;
+    s.owned = shard->owned_alive;
+    s.ghosts = shard->ghost_alive;
+    s.core = shard->core_count;
+    s.boundary_core = stitcher_.boundary_count(shard->index);
+    s.ops_applied = shard->ops_applied;
+    s.batches = shard->batches_applied;
+    s.busy_seconds = shard->busy_seconds;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace ddc

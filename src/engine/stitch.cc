@@ -1,0 +1,145 @@
+#include "engine/stitch.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace ddc {
+
+BoundaryStitcher::BoundaryStitcher(int dim, double eps)
+    : dim_(dim), eps_(eps), eps_sq_(eps * eps) {
+  DDC_CHECK(dim >= 1 && dim <= kMaxDim);
+  DDC_CHECK(eps > 0);
+}
+
+void BoundaryStitcher::AddCore(int shard, PointId gid, const Point& p) {
+  auto [rec, inserted] = points_.Emplace(gid);
+  DDC_CHECK(inserted && "AddCore of an already-registered point");
+  rec->shard = shard;
+  rec->point = p;
+  if (shard >= static_cast<int>(per_shard_points_.size())) {
+    per_shard_points_.resize(shard + 1, 0);
+  }
+  ++per_shard_points_[shard];
+
+  // Probe the 3^dim cells around p for cross-shard partners within eps.
+  // The hash cell side is eps, so any point within eps lies in one of them.
+  const CellKey home = CellKey::Of(p, dim_, eps_);
+  CellKey probe = home;
+  int offset[kMaxDim] = {};
+  for (int i = 0; i < dim_; ++i) {
+    offset[i] = -1;
+    probe[i] = home[i] - 1;
+  }
+  for (;;) {
+    if (const std::vector<PointId>* bucket = cells_.Find(probe)) {
+      for (const PointId other : *bucket) {
+        PointRec* orec = points_.Find(other);
+        if (orec->shard == shard) continue;
+        if (!WithinSquared(p, orec->point, dim_, eps_sq_)) continue;
+        orec->edges.push_back(gid);
+        rec->edges.push_back(other);
+        ++num_edges_;
+      }
+    }
+    // Odometer over {-1, 0, 1}^dim.
+    int i = 0;
+    while (i < dim_ && offset[i] == 1) {
+      offset[i] = -1;
+      probe[i] = home[i] - 1;
+      ++i;
+    }
+    if (i == dim_) break;
+    ++offset[i];
+    probe[i] = home[i] + offset[i];
+  }
+
+  cells_[home].push_back(gid);
+}
+
+void BoundaryStitcher::RemoveCore(PointId gid) {
+  PointRec* rec = points_.Find(gid);
+  DDC_CHECK(rec != nullptr && "RemoveCore of an unregistered point");
+
+  for (const PointId partner : rec->edges) {
+    std::vector<PointId>& back = points_.Find(partner)->edges;
+    for (size_t i = 0; i < back.size(); ++i) {
+      if (back[i] == gid) {
+        back[i] = back.back();
+        back.pop_back();
+        break;
+      }
+    }
+    --num_edges_;
+  }
+
+  const CellKey home = CellKey::Of(rec->point, dim_, eps_);
+  std::vector<PointId>& bucket = *cells_.Find(home);
+  for (size_t i = 0; i < bucket.size(); ++i) {
+    if (bucket[i] == gid) {
+      bucket[i] = bucket.back();
+      bucket.pop_back();
+      break;
+    }
+  }
+  if (bucket.empty()) cells_.Erase(home);
+
+  --per_shard_points_[rec->shard];
+  points_.Erase(gid);
+}
+
+int32_t BoundaryStitcher::InternKey(const LabelKey& key) {
+  auto [idx, inserted] =
+      label_index_.Emplace(key, static_cast<int32_t>(label_index_.size()));
+  if (inserted) label_uf_.EnsureSize(*idx + 1);
+  return *idx;
+}
+
+void BoundaryStitcher::Rebuild(
+    const std::function<void(PointId, std::vector<LabelKey>*)>& labels_of) {
+  label_index_.Clear();
+  label_uf_ = UnionFind();
+  label_root_.clear();
+
+  // Pass 1: same-point rule. Every shard where a registered point is
+  // locally core contributes a key; all of one point's keys collapse.
+  // Remember each point's owner key index for the edge pass.
+  FlatHashMap<PointId, int32_t> owner_key;
+  std::vector<LabelKey> keys;
+  points_.ForEach([&](const PointId& gid, const PointRec& rec) {
+    keys.clear();
+    labels_of(gid, &keys);
+    // Registered points are core in their owner shard by construction, and
+    // labels_of lists the owner first.
+    DDC_CHECK(!keys.empty() && keys[0].shard == rec.shard);
+    const int32_t first = InternKey(keys[0]);
+    owner_key[gid] = first;
+    for (size_t i = 1; i < keys.size(); ++i) {
+      label_uf_.Union(first, InternKey(keys[i]));
+    }
+  });
+
+  // Pass 2: edge rule. Each cross-shard core-core pair identifies its
+  // endpoints' owner components. Edges appear in both adjacency lists;
+  // process each once.
+  points_.ForEach([&](const PointId& gid, const PointRec& rec) {
+    for (const PointId partner : rec.edges) {
+      if (partner < gid) continue;
+      label_uf_.Union(*owner_key.Find(gid), *owner_key.Find(partner));
+    }
+  });
+
+  label_root_.resize(label_index_.size());
+  for (int32_t i = 0; i < static_cast<int32_t>(label_root_.size()); ++i) {
+    label_root_[i] = label_uf_.Find(i);
+  }
+}
+
+ClusterLabel BoundaryStitcher::Resolve(int32_t shard, uint64_t cc) const {
+  const int32_t* idx = label_index_.Find(LabelKey{shard, cc});
+  if (idx == nullptr) return ClusterLabel{shard, cc};
+  return ClusterLabel{ClusterLabel::kStitchedShard,
+                      static_cast<uint64_t>(label_root_[*idx])};
+}
+
+}  // namespace ddc

@@ -1,0 +1,70 @@
+#include "engine/thread_pool.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace ddc {
+
+ThreadPool::ThreadPool(int num_workers) {
+  DDC_CHECK(num_workers >= 1);
+  workers_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Threads start only after the vector is fully built, so Run never sees a
+  // partially constructed pool.
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { Run(worker); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->stop = true;
+    }
+    w->wake.notify_one();
+  }
+  for (auto& w : workers_) w->thread.join();
+}
+
+void ThreadPool::Submit(int worker, std::function<void()> task) {
+  DDC_CHECK(worker >= 0 && worker < num_workers());
+  Worker& w = *workers_[worker];
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    DDC_CHECK(!w.stop);
+    w.queue.push_back(std::move(task));
+  }
+  w.wake.notify_one();
+}
+
+void ThreadPool::Drain() {
+  for (auto& w : workers_) {
+    std::unique_lock<std::mutex> lock(w->mu);
+    w->idle.wait(lock, [&] { return w->queue.empty() && !w->running; });
+  }
+}
+
+void ThreadPool::Run(Worker* w) {
+  std::unique_lock<std::mutex> lock(w->mu);
+  for (;;) {
+    w->wake.wait(lock, [&] { return !w->queue.empty() || w->stop; });
+    if (w->queue.empty()) {
+      // stop && drained: exit. Pending tasks always run before shutdown.
+      return;
+    }
+    std::function<void()> task = std::move(w->queue.front());
+    w->queue.pop_front();
+    w->running = true;
+    lock.unlock();
+    task();
+    lock.lock();
+    w->running = false;
+    if (w->queue.empty()) w->idle.notify_all();
+  }
+}
+
+}  // namespace ddc

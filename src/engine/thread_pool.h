@@ -1,0 +1,59 @@
+#ifndef DDC_ENGINE_THREAD_POOL_H_
+#define DDC_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ddc {
+
+/// A fixed pool of worker threads with one FIFO task queue per worker.
+/// Tasks are submitted to an explicit worker index — there is no stealing —
+/// so every producer that always targets the same worker gets strict
+/// in-order execution of its tasks. The sharded engine exploits this by
+/// pinning each shard to one worker: shard batches then apply in submission
+/// order even when several shards share a thread (threads < shards).
+class ThreadPool {
+ public:
+  /// Starts `num_workers` (>= 1) threads.
+  explicit ThreadPool(int num_workers);
+
+  /// Drains every queue, then stops and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` on worker `worker` (FIFO per worker).
+  void Submit(int worker, std::function<void()> task);
+
+  /// Blocks until every worker's queue is empty and no task is running.
+  /// Establishes happens-before with everything those tasks wrote: after
+  /// Drain returns, the caller may freely read state the workers touched.
+  void Drain();
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable wake;   // queue became non-empty, or stopping
+    std::condition_variable idle;   // queue drained and task finished
+    std::deque<std::function<void()>> queue;
+    bool running = false;  // A task is executing right now.
+    bool stop = false;     // Exit once the queue is empty.
+    std::thread thread;
+  };
+
+  void Run(Worker* w);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_ENGINE_THREAD_POOL_H_

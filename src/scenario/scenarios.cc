@@ -394,6 +394,83 @@ class DriftScenario : public Scenario {
 };
 
 // ---------------------------------------------------------------------------
+// hotspot — spatially skewed stream hammering one thin slab of space.
+
+class HotspotScenario : public Scenario {
+ public:
+  std::string name() const override { return "hotspot"; }
+  std::string help() const override {
+    return "Spatially skewed mixed stream: a `hot` fraction of inserts lands"
+           " in a thin band ([0, band*extent) along dimension 0) packed with"
+           " dense blobs, the rest spreads over sparse blobs in the remaining"
+           " space; deletes hit random alive points, so churn concentrates"
+           " where the points are. Built to expose shard imbalance in the"
+           " sharded engine (one slab absorbs most of the load). Keys:"
+           " n=100000, hot=0.85, band=0.08, clusters=8, cold=20, ins=0.85,"
+           " radius=100, noise=0.03, dim=3, qevery=1000, qmin, qmax,"
+           " extent=50000, seed";
+  }
+
+  Workload Generate(const ScenarioSpec& spec) const override {
+    const CommonKeys keys = ReadCommonKeys(spec, 100000, 3, 1000);
+    const double hot = spec.GetDouble("hot", 0.85);
+    const double band = spec.GetDouble("band", 0.08);
+    const int clusters =
+        static_cast<int>(std::max<int64_t>(1, spec.GetInt("clusters", 8)));
+    const int cold =
+        static_cast<int>(std::max<int64_t>(1, spec.GetInt("cold", 20)));
+    const double ins = spec.GetDouble("ins", 0.85);
+    const double radius = spec.GetDouble("radius", 100.0);
+    const double noise = spec.GetDouble("noise", 0.03);
+    const double extent = spec.GetDouble("extent", 50000.0);
+    DDC_CHECK(hot >= 0 && hot <= 1);
+    DDC_CHECK(band > 0 && band <= 1);
+    DDC_CHECK(ins > 0 && ins <= 1);
+
+    Rng rng(spec.seed());
+    const double band_hi = band * extent;
+    // Hot blob centers squeeze into the band along dim 0 (full extent on the
+    // other dimensions); cold centers go anywhere outside it.
+    std::vector<Point> hot_centers, cold_centers;
+    for (int c = 0; c < clusters; ++c) {
+      Point p = UniformPoint(rng, keys.dim, extent);
+      p[0] = rng.NextDouble(0, band_hi);
+      hot_centers.push_back(p);
+    }
+    for (int c = 0; c < cold; ++c) {
+      Point p = UniformPoint(rng, keys.dim, extent);
+      p[0] = band_hi + rng.NextDouble(0, extent - band_hi);
+      cold_centers.push_back(p);
+    }
+
+    WorkloadBuilder b(rng, keys.dim, keys.query_every, keys.query_min,
+                      keys.query_max);
+    while (b.updates() < keys.n) {
+      const bool do_insert = b.alive_count() <= 1 || rng.NextBernoulli(ins);
+      if (!do_insert) {
+        // Random-alive deletes inherit the spatial skew: most alive points
+        // sit in the band, so most churn lands there too.
+        b.DeleteRandomAlive();
+        continue;
+      }
+      const bool in_band = rng.NextBernoulli(hot);
+      if (rng.NextBernoulli(noise)) {
+        Point p = UniformPoint(rng, keys.dim, extent);
+        p[0] = in_band ? rng.NextDouble(0, band_hi)
+                       : band_hi + rng.NextDouble(0, extent - band_hi);
+        b.InsertNew(p);
+        continue;
+      }
+      const std::vector<Point>& centers =
+          in_band ? hot_centers : cold_centers;
+      b.InsertNew(UniformInBall(centers[rng.NextBelow(centers.size())],
+                                radius, keys.dim, rng));
+    }
+    return b.Finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
 // split-merge — adversarial bridge oscillation between two dense blobs.
 
 class SplitMergeScenario : public Scenario {
@@ -466,6 +543,7 @@ const std::vector<std::unique_ptr<Scenario>>& AllScenarios() {
     all->push_back(std::make_unique<BurstScenario>());
     all->push_back(std::make_unique<ZipfScenario>());
     all->push_back(std::make_unique<DriftScenario>());
+    all->push_back(std::make_unique<HotspotScenario>());
     all->push_back(std::make_unique<SplitMergeScenario>());
     return all;
   }();

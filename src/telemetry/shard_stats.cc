@@ -1,0 +1,37 @@
+#include "telemetry/shard_stats.h"
+
+#include <cstdio>
+
+namespace ddc {
+
+void PrintShardOccupancy(const std::vector<ShardOccupancy>& shards) {
+  std::printf(
+      "  shard worker     owned    ghosts      core  boundary       ops"
+      "   batches   busy_s\n");
+  ShardOccupancy total;
+  for (const ShardOccupancy& s : shards) {
+    std::printf("  %5d %6d %9lld %9lld %9lld %9lld %9lld %9lld %8.2f\n",
+                s.shard, s.worker, static_cast<long long>(s.owned),
+                static_cast<long long>(s.ghosts),
+                static_cast<long long>(s.core),
+                static_cast<long long>(s.boundary_core),
+                static_cast<long long>(s.ops_applied),
+                static_cast<long long>(s.batches), s.busy_seconds);
+    total.owned += s.owned;
+    total.ghosts += s.ghosts;
+    total.core += s.core;
+    total.boundary_core += s.boundary_core;
+    total.ops_applied += s.ops_applied;
+    total.batches += s.batches;
+    total.busy_seconds += s.busy_seconds;
+  }
+  std::printf("  total        %9lld %9lld %9lld %9lld %9lld %9lld %8.2f\n",
+              static_cast<long long>(total.owned),
+              static_cast<long long>(total.ghosts),
+              static_cast<long long>(total.core),
+              static_cast<long long>(total.boundary_core),
+              static_cast<long long>(total.ops_applied),
+              static_cast<long long>(total.batches), total.busy_seconds);
+}
+
+}  // namespace ddc

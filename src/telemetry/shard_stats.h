@@ -1,0 +1,30 @@
+#ifndef DDC_TELEMETRY_SHARD_STATS_H_
+#define DDC_TELEMETRY_SHARD_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ddc {
+
+/// Per-shard occupancy and load snapshot of the sharded engine, for the
+/// driver's telemetry report: exposes imbalance (hotspot scenarios pile
+/// owned points and ops onto one slab) and replication overhead (ghost
+/// fraction grows as slabs narrow toward the halo width).
+struct ShardOccupancy {
+  int shard = 0;
+  int worker = 0;             // Pinned thread-pool worker.
+  int64_t owned = 0;          // Alive points this shard owns.
+  int64_t ghosts = 0;         // Alive halo replicas from neighbor slabs.
+  int64_t core = 0;           // Locally core points (owned + ghost).
+  int64_t boundary_core = 0;  // Owned core points in the stitch registry.
+  int64_t ops_applied = 0;    // Updates applied by the worker.
+  int64_t batches = 0;        // Batches the worker consumed.
+  double busy_seconds = 0;    // Wall time the worker spent applying them.
+};
+
+/// Prints one row per shard plus a totals line to stdout.
+void PrintShardOccupancy(const std::vector<ShardOccupancy>& shards);
+
+}  // namespace ddc
+
+#endif  // DDC_TELEMETRY_SHARD_STATS_H_

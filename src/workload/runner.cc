@@ -94,6 +94,10 @@ RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
     }
   }
 
+  // Asynchronous engines may still hold enqueued updates; the barrier keeps
+  // them inside the timing window so throughput reflects applied work.
+  clusterer.Flush();
+
   // A truncated run still ends with a terminal checkpoint at ops_executed,
   // so the series covers exactly the executed prefix.
   if (stats.ops_executed > 0 &&

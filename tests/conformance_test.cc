@@ -11,6 +11,7 @@
 #include "core/incremental_dbscan.h"
 #include "core/semi_dynamic_clusterer.h"
 #include "core/static_dbscan.h"
+#include "engine/sharded_clusterer.h"
 #include "scenario/scenario.h"
 #include "tests/test_util.h"
 #include "workload/workload.h"
@@ -54,6 +55,21 @@ std::vector<Combo> AllCombos(double rho) {
   if (rho == 0) {
     combos.push_back({"inc", true, [](const DbscanParams& p) {
                         return std::make_unique<IncrementalDbscan>(p);
+                      }});
+  }
+  // The sharded engine at every acceptance shard count. Small batches and a
+  // short warmup so the tiny workloads exercise the buffered-prefix replay,
+  // steady-state batching, ghost replication and the cross-shard stitch
+  // rather than degenerating into one giant batch.
+  for (const int shards : {1, 2, 4, 8}) {
+    ShardedClusterer::Options options;
+    options.shards = shards;
+    options.threads = shards;
+    options.batch = 16;
+    options.warmup = 64;
+    combos.push_back({"sharded/s" + std::to_string(shards), true,
+                      [options](const DbscanParams& p) {
+                        return std::make_unique<ShardedClusterer>(p, options);
                       }});
   }
   return combos;
@@ -219,6 +235,9 @@ INSTANTIATE_TEST_SUITE_P(
                          "qevery=0"},
             ScenarioCase{"Drift",
                          "drift:n=360,clusters=4,window=120,drift=1.0,dim=2,"
+                         "extent=2500,qevery=0"},
+            ScenarioCase{"Hotspot",
+                         "hotspot:n=360,clusters=3,cold=3,band=0.15,dim=2,"
                          "extent=2500,qevery=0"},
             ScenarioCase{"SplitMerge",
                          "split-merge:n=360,eps=110,blob=40,dim=2,qevery=0"}),

@@ -19,6 +19,7 @@ const char* kTinySpecs[] = {
     "burst:n=600,burst=80,dup=0.4,qevery=100",
     "zipf:n=600,clusters=8,alpha=1.2,ins=0.8,qevery=100",
     "drift:n=600,clusters=4,window=200,qevery=100",
+    "hotspot:n=600,clusters=4,cold=6,band=0.1,qevery=100",
     "split-merge:n=600,eps=150,qevery=100",
 };
 

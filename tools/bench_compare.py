@@ -3,16 +3,25 @@
 
 Usage:
     tools/bench_compare.py BASELINE_DIR CANDIDATE_DIR [--threshold=R]
+                           [--key=full|base]
 
 Pairs files by (scenario, method), prints per-pair throughput ratios
 (candidate / baseline, > 1 is faster) plus p50/p99 update-latency ratios,
-and a geometric-mean summary per method. Files present on only one side are
-listed but not compared.
+and a geometric-mean summary per method. A key present on only one side is
+reported as a missing pair and not compared; directories with entirely
+non-overlapping method sets are legal input (every key reports as missing
+and the run says so instead of crashing or silently passing).
 
-Exit status is always 0 unless --threshold is given: then any compared pair
-whose throughput ratio falls below R fails the run (useful as a CI gate; the
-default wiring in .github/workflows/ci.yml runs without a threshold, as a
-non-blocking report).
+--key=base pairs on the method's *base name* (the spec before ':'), for
+comparing runs of one method at different knob settings — e.g. a
+bench/sharded shards=1 directory against a shards=8 directory. With
+--key=base each directory must hold at most one spec per (scenario, base
+name); duplicates abort.
+
+Exit status: 0 on a normal report, 1 when --threshold is given and a pair
+falls below it, 2 on unusable input (no files, no comparable pairs, or
+unreadable documents). The default CI wiring runs without a threshold as a
+non-blocking report.
 """
 
 import argparse
@@ -22,13 +31,30 @@ import sys
 from pathlib import Path
 
 
-def load_bench_dir(path):
-    """(scenario, method) -> parsed BENCH document."""
+def load_bench_dir(path, key_mode):
+    """(scenario, method-key) -> parsed BENCH document."""
     docs = {}
     for f in sorted(Path(path).glob("BENCH_*.json")):
-        with open(f) as fh:
-            doc = json.load(fh)
-        docs[(doc["scenario"], doc["method"])] = doc
+        try:
+            with open(f) as fh:
+                doc = json.load(fh)
+            scenario = doc["scenario"]
+            method = doc["method"]
+            doc["run"]["throughput_ops_per_sec"]
+            doc["workload"]["num_updates"]
+        except (json.JSONDecodeError, KeyError, TypeError) as err:
+            print(f"skipping {f}: not a valid BENCH document ({err})",
+                  file=sys.stderr)
+            continue
+        if key_mode == "base":
+            method = method.split(":", 1)[0]
+        key = (scenario, method)
+        if key in docs:
+            print(f"{f}: duplicate key {key} under --key={key_mode}; "
+                  "keep one spec per (scenario, method) and directory",
+                  file=sys.stderr)
+            sys.exit(2)
+        docs[key] = doc
     return docs
 
 
@@ -51,10 +77,13 @@ def main():
                         help="directory with candidate BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=None,
                         help="fail if any throughput ratio is below this")
+    parser.add_argument("--key", choices=("full", "base"), default="full",
+                        help="pair on the full method spec (default) or on "
+                             "the base method name before ':'")
     args = parser.parse_args()
 
-    base = load_bench_dir(args.baseline)
-    cand = load_bench_dir(args.candidate)
+    base = load_bench_dir(args.baseline, args.key)
+    cand = load_bench_dir(args.candidate, args.key)
     if not base:
         print(f"no BENCH_*.json files in {args.baseline}", file=sys.stderr)
         return 2
@@ -106,19 +135,27 @@ def main():
               f"{' '.join(notes)}")
 
         if ratio is not None:
-            per_method.setdefault(method, []).append(ratio)
+            if ratio > 0:  # keep log() defined in the geomean
+                per_method.setdefault(method, []).append(ratio)
             if args.threshold is not None and ratio < args.threshold:
                 failures.append((scenario, method, ratio))
 
     for key in only_base:
-        print(f"{key[0]:<16} {key[1]:<16} {'(baseline only)':>10}")
+        print(f"{key[0]:<16} {key[1]:<16}  missing pair (baseline only)")
     for key in only_cand:
-        print(f"{key[0]:<16} {key[1]:<16} {'(candidate only)':>10}")
+        print(f"{key[0]:<16} {key[1]:<16}  missing pair (candidate only)")
 
     print()
     for method, ratios in sorted(per_method.items()):
         geo = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
         print(f"geomean {method}: {geo:.2f}x over {len(ratios)} scenario(s)")
+
+    if not common:
+        print("no comparable pairs: the method sets do not overlap "
+              f"({len(only_base)} baseline-only, {len(only_cand)} "
+              "candidate-only keys; try --key=base to pair method specs "
+              "by base name)", file=sys.stderr)
+        return 2
 
     if failures:
         print(f"\nFAIL: {len(failures)} pair(s) below threshold "

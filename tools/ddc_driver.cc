@@ -13,9 +13,14 @@
 // Flags:
 //   --scenario    ';'-separated scenario specs (grammar: name[:k=v,k=v...]).
 //                 Default: every registered scenario with default parameters.
-//   --methods     ','-separated method names from core/method_registry.h.
+//   --methods     ';'- or ','-separated method specs from
+//                 core/method_registry.h (same grammar as scenarios, e.g.
+//                 sharded-double-approx:shards=8,threads=8). ';' is the
+//                 outer separator when any spec carries knobs.
 //                 Default: double-approx,inc-dbscan (the fully-dynamic pair;
 //                 semi-dynamic methods are skipped on workloads with deletes).
+//   --threads     Default worker-thread count for sharded methods: appended
+//                 as threads=N to every sharded-* spec that does not set it.
 //   --eps         Absolute epsilon. Default: --eps-over-d (100) * dim.
 //   --minpts      MinPts (default 10).
 //   --rho         Approximation slack (default 0.001; exact methods force 0).
@@ -35,9 +40,11 @@
 #include "common/check.h"
 #include "common/flags.h"
 #include "core/method_registry.h"
+#include "engine/sharded_clusterer.h"
 #include "scenario/scenario.h"
 #include "telemetry/report.h"
 #include "telemetry/resource.h"
+#include "telemetry/shard_stats.h"
 #include "workload/runner.h"
 #include "workload/workload.h"
 
@@ -59,6 +66,31 @@ std::string SpecName(const std::string& spec) {
   return spec.substr(0, spec.find(':'));
 }
 
+// Method lists split on ';' (the outer separator once specs carry ,-joined
+// knobs); a ';'-piece without knobs still splits on ',' so the historical
+// --methods=double-approx,inc-dbscan form keeps working.
+std::vector<std::string> SplitMethods(const std::string& text) {
+  std::vector<std::string> methods;
+  for (const std::string& piece : Split(text, ';')) {
+    if (piece.find(':') == std::string::npos) {
+      for (const std::string& m : Split(piece, ',')) methods.push_back(m);
+    } else {
+      methods.push_back(piece);
+    }
+  }
+  return methods;
+}
+
+// BENCH filenames key on (scenario, method spec); spec punctuation becomes
+// '-' so the file name stays shell- and glob-friendly.
+std::string SanitizeForFilename(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (c == ':' || c == ',' || c == '=') c = '-';
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -67,11 +99,7 @@ int main(int argc, char** argv) {
   if (flags.GetBool("list", false)) {
     std::printf("Scenarios (spec grammar: name[:key=value,key=value...]):\n%s",
                 ddc::ScenarioHelp().c_str());
-    std::printf("Methods:\n");
-    for (const std::string& m : ddc::MethodNames()) {
-      std::printf("  %s%s\n", m.c_str(),
-                  ddc::MethodSupportsDeletes(m) ? "" : "  (insert-only)");
-    }
+    std::printf("%s", ddc::MethodHelp().c_str());
     return 0;
   }
 
@@ -82,12 +110,27 @@ int main(int argc, char** argv) {
   }
   const std::vector<std::string> specs =
       Split(flags.GetString("scenario", default_scenarios), ';');
-  const std::vector<std::string> methods =
-      Split(flags.GetString("methods", "double-approx,inc-dbscan"), ',');
+  std::vector<std::string> methods =
+      SplitMethods(flags.GetString("methods", "double-approx,inc-dbscan"));
   DDC_CHECK(!specs.empty() && !methods.empty());
+
+  // --threads=N is the default thread count for sharded methods: appended to
+  // every sharded-* spec that does not pin threads= itself.
+  if (flags.Has("threads")) {
+    const int64_t threads = flags.GetInt("threads", 0);
+    for (std::string& m : methods) {
+      if (ddc::MethodBaseName(m).rfind("sharded-", 0) != 0) continue;
+      if (m.find("threads=") != std::string::npos) continue;
+      m += (m.find(':') == std::string::npos ? ':' : ',');
+      m += "threads=" + std::to_string(threads);
+    }
+  }
+
   for (const std::string& m : methods) {
-    if (!ddc::IsMethod(m)) {
-      std::fprintf(stderr, "unknown method '%s' (see --list)\n", m.c_str());
+    std::string why;
+    if (!ddc::ValidateMethodSpec(m, &why)) {
+      std::fprintf(stderr, "bad method spec '%s': %s\n%s\n(see --list)\n",
+                   m.c_str(), why.c_str(), ddc::MethodHelp().c_str());
       return 1;
     }
   }
@@ -138,6 +181,13 @@ int main(int argc, char** argv) {
       const ddc::RunStats stats =
           ddc::RunWorkload(*clusterer, workload, options);
 
+      // Per-shard occupancy telemetry for the sharded engine: imbalance and
+      // replication overhead are invisible in aggregate throughput.
+      if (auto* sharded =
+              dynamic_cast<ddc::ShardedClusterer*>(clusterer.get())) {
+        ddc::PrintShardOccupancy(sharded->ShardTelemetry());
+      }
+
       ddc::BenchRecord record;
       record.scenario = scenario;
       record.scenario_spec = spec;
@@ -159,8 +209,8 @@ int main(int argc, char** argv) {
         return 1;
       }
 
-      const std::string path =
-          out_dir + "/BENCH_" + scenario + "_" + method + ".json";
+      const std::string path = out_dir + "/BENCH_" + scenario + "_" +
+                               SanitizeForFilename(method) + ".json";
       if (!written_paths.insert(path).second) {
         // Filenames key on (scenario, method) only; two specs of the same
         // scenario would silently clobber each other — refuse instead.
