@@ -37,6 +37,11 @@ class DynamicConnectivity {
   /// reassigned by any AddEdge/RemoveEdge.
   virtual uint64_t ComponentId(int v) = 0;
 
+  /// ComponentId as a mutation-free lookup (no splaying, no lazy
+  /// materialization): safe to call while building a frozen snapshot.
+  /// Agrees with ComponentId(v) between modifications.
+  virtual uint64_t ComponentIdReadOnly(int v) const = 0;
+
   /// Number of vertices currently in the universe.
   virtual int num_vertices() const = 0;
 };

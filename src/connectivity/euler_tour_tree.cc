@@ -223,6 +223,15 @@ const EttNode* EulerTourForest::Representative(int u) {
   return head;
 }
 
+const EttNode* EulerTourForest::RepresentativeReadOnly(int u) const {
+  DDC_DCHECK(u >= 0 && u < num_vertices());
+  const EttNode* node = self_[u];
+  if (node == nullptr) return nullptr;  // Untouched singleton.
+  while (node->parent != nullptr) node = node->parent;
+  while (node->left != nullptr) node = node->left;
+  return node;
+}
+
 void EulerTourForest::SetVertexFlag(int u, bool flag) {
   EttNode* s = Self(u);
   Splay(s);

@@ -76,6 +76,14 @@ class EulerTourForest {
   /// between Link/Cut operations.
   const EttNode* Representative(int u);
 
+  /// Representative without splaying: a mutation-free parent walk to the
+  /// splay root, then left-spine descent to the tour head. Returns the same
+  /// node as Representative(u) (the head is a property of the tour, not of
+  /// the splay shape). A vertex whose self-arc was never materialized is a
+  /// singleton; it is reported as nullptr so the caller can synthesize a
+  /// label without mutating the forest.
+  const EttNode* RepresentativeReadOnly(int u) const;
+
   /// Marks whether u carries non-tree edges at this forest's level.
   void SetVertexFlag(int u, bool flag);
 

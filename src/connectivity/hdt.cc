@@ -168,4 +168,14 @@ uint64_t HdtConnectivity::ComponentId(int v) {
   return reinterpret_cast<uint64_t>(forests_[0]->Representative(v));
 }
 
+uint64_t HdtConnectivity::ComponentIdReadOnly(int v) const {
+  DDC_CHECK(v >= 0 && v < n_);
+  const EttNode* head = forests_[0]->RepresentativeReadOnly(v);
+  if (head != nullptr) return reinterpret_cast<uint64_t>(head);
+  // Never-touched singleton: synthesize an odd label — EttNode pointers are
+  // aligned, so the two label families can't collide, and the value agrees
+  // with itself across lookups until an edge first touches v.
+  return (static_cast<uint64_t>(static_cast<uint32_t>(v)) << 1) | 1;
+}
+
 }  // namespace ddc

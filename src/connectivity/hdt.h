@@ -30,6 +30,7 @@ class HdtConnectivity : public DynamicConnectivity {
   void RemoveEdge(int u, int v) override;
   bool Connected(int u, int v) override;
   uint64_t ComponentId(int v) override;
+  uint64_t ComponentIdReadOnly(int v) const override;
   int num_vertices() const override { return n_; }
 
   /// Total number of edges currently stored (tree + non-tree).

@@ -3,19 +3,53 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
 #include <vector>
 
 #include "common/check.h"
+#include "common/flat_hash.h"
 #include "core/clusterer.h"
 #include "geom/point.h"
 #include "grid/grid.h"
 
 namespace ddc {
 
-/// The shared C-group-by query algorithm of Section 4.2. All our clusterers
-/// answer queries identically; they differ only in how the three callbacks
-/// below are backed:
+/// Dedup set for the cluster labels of one query point. A non-core point
+/// belongs to at most one cluster per ε-close core cell, and in practice to
+/// one or two, so a fixed inline buffer with linear probing covers the hot
+/// path without touching the heap; the rare point adjacent to more distinct
+/// clusters spills into a FlatHashSet.
+class MembershipLabelSet {
+ public:
+  /// Records `label`; true when it was not seen before.
+  bool Insert(uint64_t label) {
+    if (count_ <= kInlineCapacity) {
+      for (int i = 0; i < count_; ++i) {
+        if (inline_[i] == label) return false;
+      }
+      if (count_ < kInlineCapacity) {
+        inline_[count_++] = label;
+        return true;
+      }
+      // Inline buffer full: migrate to the spill set.
+      for (int i = 0; i < kInlineCapacity; ++i) spill_.Insert(inline_[i]);
+      ++count_;
+    }
+    return spill_.Insert(label);
+  }
+
+ private:
+  static constexpr int kInlineCapacity = 12;
+  int count_ = 0;
+  uint64_t inline_[kInlineCapacity];
+  FlatHashSet<uint64_t> spill_;
+};
+
+/// The C-group-by query algorithm of Section 4.2 over scripted callbacks —
+/// the executable specification of the query semantics, pinned down by
+/// tests/cluster_query_test.cc. The production read path is its frozen
+/// counterpart, GridSnapshot::ForEachMembershipLabel in
+/// core/cluster_snapshot.h: any semantic change must land in both. The
+/// callbacks:
 ///
 ///   * `is_core(p)`    — the core-status structure;
 ///   * `cc_id(cell)`   — CC-Id of a *core cell* in the grid graph;
@@ -58,13 +92,14 @@ void ForEachMembershipLabel(const Grid& grid, PointId pid,
   }
   // Non-core: snap to every ε-close core cell (and the own cell) whose
   // emptiness query produces a proof point. Distinct CCs may repeat over
-  // cells, hence the local set.
+  // cells, hence the local set (inline-buffered: no per-point allocation).
   const Point& p = grid.point(pid);
-  std::unordered_set<uint64_t> assigned;
+  MembershipLabelSet assigned;
   auto consider = [&](CellId cell) {
     if (!hooks.is_core_cell(cell)) return;
     if (hooks.empty(p, cell) == kInvalidPoint) return;
-    if (assigned.insert(hooks.cc_id(cell)).second) fn(hooks.cc_id(cell));
+    const uint64_t cc = hooks.cc_id(cell);
+    if (assigned.Insert(cc)) fn(cc);
   };
   consider(c);
   for (const CellId nb : grid.cell(c).neighbors) consider(nb);

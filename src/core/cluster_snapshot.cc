@@ -1,0 +1,100 @@
+#include "core/cluster_snapshot.h"
+
+#include <utility>
+
+namespace ddc {
+
+// The legacy single-threaded entry point: every query is answered from a
+// snapshot, so the concurrent readers and the owning thread run the exact
+// same code over the exact same frozen state.
+CGroupByResult Clusterer::Query(const std::vector<PointId>& q) {
+  return Snapshot()->Query(q);
+}
+
+std::shared_ptr<const GridSnapshot> GridSnapshot::Build(
+    const Sources& sources, double eps_outer, uint64_t epoch) {
+  DDC_CHECK(sources.grid != nullptr && sources.is_core != nullptr &&
+            sources.cell_label != nullptr);
+  const Grid& grid = *sources.grid;
+  std::shared_ptr<GridSnapshot> snap(new GridSnapshot(epoch));
+  const int dim = grid.dim();
+  snap->dim_ = dim;
+  snap->eps_outer_sq_ = eps_outer * eps_outer;
+
+  // Pass 1 — cells: core members (packed coords), frozen CC label, box.
+  const int num_cells = grid.num_cells();
+  snap->cells_.resize(num_cells);
+  snap->cell_boxes_.resize(num_cells);
+  for (CellId c = 0; c < num_cells; ++c) {
+    CellRec& rec = snap->cells_[c];
+    rec.members_begin = static_cast<int32_t>(snap->member_coords_.size() /
+                                             static_cast<size_t>(dim));
+    const Cell& cell = grid.cell(c);
+    PointId first_core = kInvalidPoint;
+    for (size_t i = 0; i < cell.points.size(); ++i) {
+      const PointId p = cell.points[i];
+      if (!sources.is_core(p)) continue;
+      if (first_core == kInvalidPoint) first_core = p;
+      const double* coords = cell.coords.data() + i * dim;
+      snap->member_coords_.insert(snap->member_coords_.end(), coords,
+                                  coords + dim);
+    }
+    rec.members_end = static_cast<int32_t>(snap->member_coords_.size() /
+                                           static_cast<size_t>(dim));
+    if (first_core != kInvalidPoint) {
+      rec.label = sources.cell_label(c, first_core);
+    }
+    snap->cell_boxes_[c] = grid.cell_box(c);
+  }
+
+  // Pass 2 — adjacency: each cell's ε-close *core* cells (non-core
+  // neighbors can never contribute a membership, so they are dropped at
+  // freeze time instead of per query).
+  for (CellId c = 0; c < num_cells; ++c) {
+    CellRec& rec = snap->cells_[c];
+    rec.nbr_begin = static_cast<int32_t>(snap->core_neighbors_.size());
+    for (const CellId nb : grid.cell(c).neighbors) {
+      const CellRec& nrec = snap->cells_[nb];
+      if (nrec.members_begin < nrec.members_end) {
+        snap->core_neighbors_.push_back(nb);
+      }
+    }
+    rec.nbr_end = static_cast<int32_t>(snap->core_neighbors_.size());
+  }
+
+  // Pass 3 — points: alive/core bits, home cell, packed coordinates.
+  const int64_t total = grid.total_inserted();
+  snap->cell_of_.assign(total, -1);
+  snap->point_core_.assign(total, 0);
+  snap->point_coords_.resize(static_cast<size_t>(total) * dim);
+  snap->alive_ = grid.size();
+  for (PointId p = 0; p < total; ++p) {
+    if (!grid.alive(p)) continue;
+    snap->cell_of_[p] = grid.cell_of(p);
+    snap->point_core_[p] = sources.is_core(p) ? 1 : 0;
+    const Point& pt = grid.point(p);
+    double* out = snap->point_coords_.data() + static_cast<size_t>(p) * dim;
+    for (int k = 0; k < dim; ++k) out[k] = pt[k];
+  }
+  return snap;
+}
+
+CGroupByResult GridSnapshot::Query(const std::vector<PointId>& q) const {
+  CGroupByResult result;
+  FlatHashMap<uint64_t, int32_t> bucket_of;
+  for (const PointId pid : q) {
+    if (!alive(pid)) continue;
+    bool any = false;
+    ForEachMembershipLabel(pid, [&](uint64_t cc) {
+      any = true;
+      auto [idx, inserted] = bucket_of.Emplace(
+          cc, static_cast<int32_t>(result.groups.size()));
+      if (inserted) result.groups.emplace_back();
+      result.groups[*idx].push_back(pid);
+    });
+    if (!any) result.noise.push_back(pid);
+  }
+  return result;
+}
+
+}  // namespace ddc

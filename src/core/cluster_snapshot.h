@@ -1,0 +1,252 @@
+#ifndef DDC_CORE_CLUSTER_SNAPSHOT_H_
+#define DDC_CORE_CLUSTER_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flat_hash.h"
+#include "core/cluster_query.h"
+#include "core/clusterer.h"
+#include "geom/box.h"
+#include "geom/point.h"
+#include "grid/grid.h"
+
+namespace ddc {
+
+/// An immutable, epoch-versioned view of one clustering: the read side of
+/// the read/write split. A snapshot is deep-frozen at creation — it shares
+/// no mutable state with the clusterer that produced it — so any number of
+/// threads may Query it concurrently while updates keep flowing into the
+/// live structures. Lookups are const and mutation-free by construction
+/// (labels are resolved at build time through the read-only find variants;
+/// no path compression or splaying ever runs on the read path).
+///
+/// A snapshot answers queries about the dataset *as of its epoch*: ids
+/// inserted later are unknown to it and are silently skipped, exactly as
+/// dead ids are.
+class ClusterSnapshot {
+ public:
+  virtual ~ClusterSnapshot() = default;
+
+  /// The C-group-by query of Section 4.2 over the snapshot's dataset. Ids
+  /// dead (or unborn) at the snapshot's epoch are ignored. Thread-safe.
+  virtual CGroupByResult Query(const std::vector<PointId>& q) const = 0;
+
+  /// True when `id` was alive at the snapshot's epoch.
+  virtual bool alive(PointId id) const = 0;
+
+  /// Number of alive points at the snapshot's epoch.
+  virtual int64_t size() const = 0;
+
+  /// The update-stream version this snapshot froze: the clusterer's update
+  /// counter for the single-threaded clusterers, the stitch epoch for the
+  /// sharded engine. Monotone per clusterer.
+  uint64_t epoch() const { return epoch_; }
+
+ protected:
+  explicit ClusterSnapshot(uint64_t epoch) : epoch_(epoch) {}
+
+ private:
+  uint64_t epoch_;
+};
+
+/// The frozen single-grid snapshot behind SemiDynamicClusterer,
+/// FullyDynamicClusterer and IncrementalDbscan (and, per shard, behind the
+/// sharded engine): per-point alive/core bits and packed coordinates, and
+/// per-cell CC labels, packed core-member coordinates and ε-close core
+/// neighbor lists. Membership follows the paper's query algorithm — a core
+/// point takes its cell's CC label; a non-core point takes the label of
+/// every ε-close core cell whose frozen emptiness query (brute-force scan
+/// with the cell-box miss prefilter, radius (1+ρ)ε) certifies a proof —
+/// which is conforming for the Theorem 3 sandwich and exact at rho == 0.
+class GridSnapshot final : public ClusterSnapshot {
+ public:
+  /// What Build reads from the live clusterer. `cell_label(cell, p)` must
+  /// return the CC label of core cell `cell` (where `p` is one of its core
+  /// members — IncDBSCAN labels clusters through core points, the grid
+  /// clusterers through cells); it is called once per core cell and must be
+  /// a read-only lookup.
+  struct Sources {
+    const Grid* grid = nullptr;
+    std::function<bool(PointId)> is_core;
+    std::function<uint64_t(CellId, PointId)> cell_label;
+  };
+
+  /// Deep-freezes the query-relevant state. O(total points + cells + cell
+  /// adjacency); runs on the clusterer's owning thread while the structures
+  /// are quiescent.
+  static std::shared_ptr<const GridSnapshot> Build(const Sources& sources,
+                                                   double eps_outer,
+                                                   uint64_t epoch);
+
+  CGroupByResult Query(const std::vector<PointId>& q) const override;
+
+  bool alive(PointId id) const override {
+    return id >= 0 && id < static_cast<PointId>(cell_of_.size()) &&
+           cell_of_[id] >= 0;
+  }
+  int64_t size() const override { return alive_; }
+
+  bool is_core(PointId id) const {
+    DDC_DCHECK(alive(id));
+    return point_core_[id] != 0;
+  }
+
+  /// CC label of core point `id` (its cell's frozen label).
+  uint64_t CoreLabelOf(PointId id) const {
+    DDC_DCHECK(is_core(id));
+    return cells_[cell_of_[id]].label;
+  }
+
+  /// Invokes `fn(label)` once per distinct cluster containing alive point
+  /// `pid` — nothing for noise. The snapshot counterpart of the live-path
+  /// ForEachMembershipLabel in cluster_query.h; thread-safe.
+  template <typename Fn>
+  void ForEachMembershipLabel(PointId pid, Fn&& fn) const {
+    DDC_DCHECK(alive(pid));
+    const int32_t c = cell_of_[pid];
+    if (point_core_[pid] != 0) {
+      fn(cells_[c].label);
+      return;
+    }
+    Point p;
+    const double* pc = point_coords_.data() +
+                       static_cast<size_t>(pid) * static_cast<size_t>(dim_);
+    for (int k = 0; k < dim_; ++k) p[k] = pc[k];
+    MembershipLabelSet assigned;
+    auto consider = [&](int32_t cell) {
+      const CellRec& r = cells_[cell];
+      if (r.members_begin == r.members_end) return;  // Not a core cell.
+      if (BoxMiss(cell, p)) return;
+      const double* m = member_coords_.data() +
+                        static_cast<size_t>(r.members_begin) *
+                            static_cast<size_t>(dim_);
+      bool hit = false;
+      for (int32_t i = r.members_begin; i < r.members_end; ++i, m += dim_) {
+        if (WithinSquaredPacked(p, m, dim_, eps_outer_sq_)) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) return;
+      if (assigned.Insert(r.label)) fn(r.label);
+    };
+    consider(c);
+    const CellRec& own = cells_[c];
+    for (int32_t i = own.nbr_begin; i < own.nbr_end; ++i) {
+      consider(core_neighbors_[i]);
+    }
+  }
+
+ private:
+  struct CellRec {
+    uint64_t label = 0;  // Valid when members_begin < members_end.
+    int32_t members_begin = 0;
+    int32_t members_end = 0;
+    int32_t nbr_begin = 0;
+    int32_t nbr_end = 0;
+  };
+
+  explicit GridSnapshot(uint64_t epoch) : ClusterSnapshot(epoch) {}
+
+  /// The emptiness miss prefilter of the live structures, on the frozen
+  /// cell box: O(d) certainty that no member of `cell` is within (1+ρ)ε.
+  /// Same formula and slack rule as BoxMiss in core/emptiness.cc.
+  bool BoxMiss(int32_t cell, const Point& p) const {
+    return cell_boxes_[cell].MinSquaredDistance(p, dim_) >
+           eps_outer_sq_ * (1 + kBoxPrefilterSlack);
+  }
+
+  int dim_ = 0;
+  double eps_outer_sq_ = 0;
+  int64_t alive_ = 0;
+
+  // Per point, indexed by PointId in [0, total_inserted at freeze time).
+  std::vector<int32_t> cell_of_;  // -1 = dead.
+  std::vector<uint8_t> point_core_;
+  std::vector<double> point_coords_;  // Packed, dim doubles per point.
+
+  // Per cell (same CellId indexing as the source grid).
+  std::vector<CellRec> cells_;
+  std::vector<Box> cell_boxes_;
+  std::vector<double> member_coords_;  // Core members, grouped by cell.
+  std::vector<int32_t> core_neighbors_;  // ε-close core cells, per cell.
+};
+
+/// Publication slot for a shared_ptr: Store swaps the pointer in, Load
+/// hands a reference-counted copy out, from any thread. The pointer copy
+/// sits behind a plain mutex held for a handful of instructions and never
+/// across user code — std::atomic<shared_ptr> would express the same
+/// semantics (it is lock-based inside libstdc++ too), but its lock-bit
+/// protocol is invisible to ThreadSanitizer (GCC PR 104366) and the CI
+/// TSan job runs with halt_on_error.
+template <typename T>
+class SharedPtrSlot {
+ public:
+  std::shared_ptr<T> Load() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ptr_;
+  }
+
+  void Store(std::shared_ptr<T> p) {
+    // Drop the previous value outside the lock (its destructor may do real
+    // work).
+    std::shared_ptr<T> old;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      old.swap(ptr_);
+      ptr_ = std::move(p);
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<T> ptr_;
+};
+
+/// The publication slot of a clusterer's snapshot: a swapped shared_ptr
+/// plus a relaxed update counter. The update path pays one relaxed
+/// fetch_add (invalidation is implicit — a cached snapshot whose epoch
+/// trails the version is stale); the snapshot slot itself is only written
+/// by the owning thread's GetOrBuild and read by anyone.
+class SnapshotCache {
+ public:
+  /// Called once per applied update (any thread).
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_relaxed); }
+
+  uint64_t version() const {
+    return version_.load(std::memory_order_relaxed);
+  }
+
+  /// The cached snapshot when it is current, else `build(version)` —
+  /// published into the slot before returning. Owning thread only, with the
+  /// structures quiescent.
+  template <typename BuildFn>
+  std::shared_ptr<const ClusterSnapshot> GetOrBuild(BuildFn&& build) {
+    const uint64_t v = version();
+    std::shared_ptr<const ClusterSnapshot> cached = cached_.Load();
+    if (cached != nullptr && cached->epoch() == v) return cached;
+    std::shared_ptr<const ClusterSnapshot> fresh = build(v);
+    DDC_DCHECK(fresh != nullptr);
+    cached_.Store(fresh);
+    return fresh;
+  }
+
+  /// Latest published snapshot, possibly stale or null; any thread.
+  std::shared_ptr<const ClusterSnapshot> Peek() const {
+    return cached_.Load();
+  }
+
+ private:
+  std::atomic<uint64_t> version_{0};
+  SharedPtrSlot<const ClusterSnapshot> cached_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_CORE_CLUSTER_SNAPSHOT_H_

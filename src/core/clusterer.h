@@ -1,12 +1,15 @@
 #ifndef DDC_CORE_CLUSTERER_H_
 #define DDC_CORE_CLUSTERER_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/params.h"
 #include "geom/point.h"
 
 namespace ddc {
+
+class ClusterSnapshot;
 
 /// Result of a cluster-group-by (C-group-by) query (Section 3 of the paper):
 /// the query points broken into the clusters of the current dataset. Because
@@ -45,10 +48,25 @@ class Clusterer {
   /// semi-dynamic (insertion-only).
   virtual void Delete(PointId id) = 0;
 
-  /// Answers a C-group-by query over the alive points in `q`.
-  /// Non-const: lookups may restructure internal search structures
-  /// (path compression, splaying), never the clustering itself.
-  virtual CGroupByResult Query(const std::vector<PointId>& q) = 0;
+  /// An immutable, epoch-versioned view of the clustering after every
+  /// update submitted so far (asynchronous engines flush first). The
+  /// returned snapshot is deep-frozen: it stays valid — and answers queries
+  /// about its epoch — no matter how many updates are applied afterwards,
+  /// and may be read from any number of threads concurrently. Consecutive
+  /// calls with no updates in between return the same (cached) snapshot.
+  /// Must be called from the updating thread, like Insert/Delete.
+  virtual std::shared_ptr<const ClusterSnapshot> Snapshot() = 0;
+
+  /// The latest *published* snapshot, without flushing: an atomic load that
+  /// is safe from any thread, concurrently with updates. May trail the
+  /// update stream (it is whatever the last Snapshot()/publication froze)
+  /// and is null before the first publication.
+  virtual std::shared_ptr<const ClusterSnapshot> CurrentSnapshot() const = 0;
+
+  /// Answers a C-group-by query over the alive points in `q`: a thin
+  /// wrapper over Snapshot()->Query(), so the owning thread and concurrent
+  /// snapshot readers run the same code over the same frozen state.
+  CGroupByResult Query(const std::vector<PointId>& q);
 
   /// Blocks until every previously submitted update is fully applied.
   /// Synchronous clusterers are always caught up — the default is a no-op.

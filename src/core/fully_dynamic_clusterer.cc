@@ -48,6 +48,7 @@ PointId FullyDynamicClusterer::Insert(const Point& p) {
   counter_.OnInsert(ins.id, ins.cell);
   tracker_.OnInsert(ins.id, ins.cell,
                     [this](PointId q, CellId c) { OnCorePromoted(q, c); });
+  snapshot_cache_.BumpVersion();
   return ins.id;
 }
 
@@ -65,6 +66,7 @@ void FullyDynamicClusterer::Delete(PointId id) {
   // Remaining points may demote now that the counts dropped.
   tracker_.OnDelete(id, cell,
                     [this](PointId q, CellId c) { OnCoreDemoted(q, c); });
+  snapshot_cache_.BumpVersion();
 }
 
 void FullyDynamicClusterer::CreateInstance(CellId a, CellId b) {
@@ -156,34 +158,21 @@ void FullyDynamicClusterer::OnCoreDemoted(PointId p, CellId cell) {
   }
 }
 
-QueryHooks FullyDynamicClusterer::MakeHooks() {
-  QueryHooks hooks;
-  hooks.is_core = [this](PointId p) { return tracker_.is_core(p); };
-  hooks.is_core_cell = [this](CellId c) {
-    return static_cast<size_t>(c) < cells_.size() &&
-           cells_[c].is_core_cell();
-  };
-  hooks.cc_id = [this](CellId c) { return cc_->ComponentId(c); };
-  hooks.empty = [this](const Point& pt, CellId c) {
-    return cells_[c].core_set->Query(pt);
-  };
-  return hooks;
-}
-
-CGroupByResult FullyDynamicClusterer::Query(const std::vector<PointId>& q) {
-  return RunCGroupByQuery(grid_, q, MakeHooks());
+std::shared_ptr<const ClusterSnapshot> FullyDynamicClusterer::Snapshot() {
+  return snapshot_cache_.GetOrBuild([this](uint64_t epoch) {
+    GridSnapshot::Sources sources;
+    sources.grid = &grid_;
+    sources.is_core = [this](PointId p) { return tracker_.is_core(p); };
+    sources.cell_label = [this](CellId c, PointId) {
+      return cc_->ComponentIdReadOnly(c);
+    };
+    return GridSnapshot::Build(sources, params_.eps_outer(), epoch);
+  });
 }
 
 uint64_t FullyDynamicClusterer::CoreLabelOf(PointId p) {
   DDC_DCHECK(tracker_.is_core(p));
   return cc_->ComponentId(grid_.cell_of(p));
-}
-
-void FullyDynamicClusterer::MembershipLabels(PointId p,
-                                             std::vector<uint64_t>* out) {
-  DDC_CHECK(grid_.alive(p));
-  ForEachMembershipLabel(grid_, p, MakeHooks(),
-                         [out](uint64_t cc) { out->push_back(cc); });
 }
 
 std::vector<PointId> FullyDynamicClusterer::AlivePoints() const {

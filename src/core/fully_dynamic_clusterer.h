@@ -10,6 +10,7 @@
 #include "connectivity/dynamic_connectivity.h"
 #include "core/abcp.h"
 #include "core/cluster_query.h"
+#include "core/cluster_snapshot.h"
 #include "core/clusterer.h"
 #include "core/emptiness.h"
 #include "core/params.h"
@@ -49,7 +50,10 @@ class FullyDynamicClusterer : public Clusterer {
 
   PointId Insert(const Point& p) override;
   void Delete(PointId id) override;
-  CGroupByResult Query(const std::vector<PointId>& q) override;
+  std::shared_ptr<const ClusterSnapshot> Snapshot() override;
+  std::shared_ptr<const ClusterSnapshot> CurrentSnapshot() const override {
+    return snapshot_cache_.Peek();
+  }
 
   std::vector<PointId> AlivePoints() const override;
   const DbscanParams& params() const override { return params_; }
@@ -74,13 +78,9 @@ class FullyDynamicClusterer : public Clusterer {
   /// CC label of the cluster containing core point `p` (the component id of
   /// its cell in the grid graph). Labels are stable between updates and
   /// compare equal iff two core points share a cluster. `p` must be core.
+  /// The sharded engine's stitch rebuild keys on these; non-core
+  /// memberships are answered by GridSnapshot::ForEachMembershipLabel.
   uint64_t CoreLabelOf(PointId p);
-
-  /// Appends the CC label of every cluster containing alive point `p`
-  /// (deduped; nothing for noise) — the same labels Query buckets by. A core
-  /// point yields exactly its cell's component; a non-core point yields one
-  /// label per ε-close core cell with an emptiness proof.
-  void MembershipLabels(PointId p, std::vector<uint64_t>* out);
 
  private:
   /// GUM (Section 7.4).
@@ -88,9 +88,6 @@ class FullyDynamicClusterer : public Clusterer {
   void OnCoreDemoted(PointId p, CellId cell);
 
   CellCoreState& State(CellId c);
-
-  /// The query callbacks, shared by Query and MembershipLabels.
-  QueryHooks MakeHooks();
 
   void CreateInstance(CellId a, CellId b);
   void DestroyInstance(CellId a, CellId b, int32_t instance);
@@ -112,6 +109,7 @@ class FullyDynamicClusterer : public Clusterer {
   std::vector<int32_t> core_slots_;
   CoreObserver core_observer_;
   int64_t num_edges_ = 0;
+  SnapshotCache snapshot_cache_;
 };
 
 }  // namespace ddc

@@ -74,6 +74,7 @@ PointId IncrementalDbscan::Insert(const Point& p) {
         (q == ins.id) ? seeds : RangeQuery(grid_.point(q));
     LabelNewCore(q, around);
   }
+  snapshot_cache_.BumpVersion();
   return ins.id;
 }
 
@@ -115,6 +116,7 @@ void IncrementalDbscan::Delete(PointId id) {
   for (auto& [cluster, cluster_seeds] : seeds_by_cluster) {
     if (cluster_seeds.size() >= 2) CheckSplit(cluster_seeds);
   }
+  snapshot_cache_.BumpVersion();
 }
 
 void IncrementalDbscan::CheckSplit(const std::vector<PointId>& seeds) {
@@ -195,30 +197,24 @@ void IncrementalDbscan::CheckSplit(const std::vector<PointId>& seeds) {
   }
 }
 
-CGroupByResult IncrementalDbscan::Query(const std::vector<PointId>& q) {
-  CGroupByResult result;
-  std::unordered_map<int, std::vector<PointId>> buckets;
-  for (const PointId pid : q) {
-    if (!grid_.alive(pid)) continue;
-    if (is_core(pid)) {
-      buckets[ClusterOf(pid)].push_back(pid);
-      continue;
-    }
-    // Border point: clusters of the core points in its ε-ball, found by a
-    // range query (IncDBSCAN has no per-cell shortcut).
-    std::unordered_set<int> mine;
-    for (const PointId r : RangeQuery(grid_.point(pid))) {
-      if (is_core(r)) mine.insert(ClusterOf(r));
-    }
-    if (mine.empty()) {
-      result.noise.push_back(pid);
-    } else {
-      for (const int c : mine) buckets[c].push_back(pid);
-    }
-  }
-  result.groups.reserve(buckets.size());
-  for (auto& [c, members] : buckets) result.groups.push_back(std::move(members));
-  return result;
+std::shared_ptr<const ClusterSnapshot> IncrementalDbscan::Snapshot() {
+  // The frozen view reproduces IncDBSCAN's query semantics exactly: a core
+  // point reports its cluster (through the merging history); a border point
+  // reports the clusters of the core points in its ε-ball. The per-cell
+  // formulation is equivalent because any two core points sharing a cell
+  // (side ε/√d) are within ε of each other and hence share a cluster in
+  // exact DBSCAN — one label per cell covers all of its core members.
+  return snapshot_cache_.GetOrBuild([this](uint64_t epoch) {
+    GridSnapshot::Sources sources;
+    sources.grid = &grid_;
+    sources.is_core = [this](PointId p) { return is_core(p); };
+    sources.cell_label = [this](CellId, PointId first_core) {
+      DDC_DCHECK(cluster_id_[first_core] >= 0);
+      return static_cast<uint64_t>(
+          merge_history_.FindReadOnly(cluster_id_[first_core]));
+    };
+    return GridSnapshot::Build(sources, params_.eps, epoch);
+  });
 }
 
 std::vector<PointId> IncrementalDbscan::AlivePoints() const {

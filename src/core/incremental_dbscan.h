@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/cluster_snapshot.h"
 #include "core/clusterer.h"
 #include "core/params.h"
 #include "grid/grid.h"
@@ -36,7 +37,10 @@ class IncrementalDbscan : public Clusterer {
 
   PointId Insert(const Point& p) override;
   void Delete(PointId id) override;
-  CGroupByResult Query(const std::vector<PointId>& q) override;
+  std::shared_ptr<const ClusterSnapshot> Snapshot() override;
+  std::shared_ptr<const ClusterSnapshot> CurrentSnapshot() const override {
+    return snapshot_cache_.Peek();
+  }
 
   std::vector<PointId> AlivePoints() const override;
   const DbscanParams& params() const override { return params_; }
@@ -70,6 +74,7 @@ class IncrementalDbscan : public Clusterer {
   std::vector<int32_t> cluster_id_;      // Valid only while core.
   UnionFind merge_history_;              // Over cluster ids.
   int64_t range_queries_ = 0;
+  SnapshotCache snapshot_cache_;
 };
 
 }  // namespace ddc

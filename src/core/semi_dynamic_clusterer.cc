@@ -1,7 +1,6 @@
 #include "core/semi_dynamic_clusterer.h"
 
 #include "common/check.h"
-#include "core/cluster_query.h"
 
 namespace ddc {
 
@@ -37,6 +36,7 @@ PointId SemiDynamicClusterer::Insert(const Point& p) {
   uf_.EnsureSize(grid_.num_cells());
   tracker_.OnInsert(ins.id, ins.cell,
                     [this](PointId q, CellId c) { OnNewCore(q, c); });
+  snapshot_cache_.BumpVersion();
   return ins.id;
 }
 
@@ -63,18 +63,16 @@ void SemiDynamicClusterer::OnNewCore(PointId p, CellId cell) {
   }
 }
 
-CGroupByResult SemiDynamicClusterer::Query(const std::vector<PointId>& q) {
-  QueryHooks hooks;
-  hooks.is_core = [this](PointId p) { return tracker_.is_core(p); };
-  hooks.is_core_cell = [this](CellId c) {
-    return static_cast<size_t>(c) < cell_core_.size() &&
-           cell_core_[c] != nullptr && cell_core_[c]->size() > 0;
-  };
-  hooks.cc_id = [this](CellId c) { return static_cast<uint64_t>(uf_.Find(c)); };
-  hooks.empty = [this](const Point& pt, CellId c) {
-    return cell_core_[c]->Query(pt);
-  };
-  return RunCGroupByQuery(grid_, q, hooks);
+std::shared_ptr<const ClusterSnapshot> SemiDynamicClusterer::Snapshot() {
+  return snapshot_cache_.GetOrBuild([this](uint64_t epoch) {
+    GridSnapshot::Sources sources;
+    sources.grid = &grid_;
+    sources.is_core = [this](PointId p) { return tracker_.is_core(p); };
+    sources.cell_label = [this](CellId c, PointId) {
+      return static_cast<uint64_t>(uf_.FindReadOnly(c));
+    };
+    return GridSnapshot::Build(sources, params_.eps_outer(), epoch);
+  });
 }
 
 std::vector<PointId> SemiDynamicClusterer::AlivePoints() const {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/flat_hash.h"
+#include "core/cluster_snapshot.h"
 #include "core/clusterer.h"
 #include "core/emptiness.h"
 #include "core/params.h"
@@ -38,7 +39,10 @@ class SemiDynamicClusterer : public Clusterer {
   /// (Theorem 2 shows why deletions change the game).
   void Delete(PointId id) override;
 
-  CGroupByResult Query(const std::vector<PointId>& q) override;
+  std::shared_ptr<const ClusterSnapshot> Snapshot() override;
+  std::shared_ptr<const ClusterSnapshot> CurrentSnapshot() const override {
+    return snapshot_cache_.Peek();
+  }
 
   std::vector<PointId> AlivePoints() const override;
   const DbscanParams& params() const override { return params_; }
@@ -67,6 +71,7 @@ class SemiDynamicClusterer : public Clusterer {
   /// Shared per-point slot registry for the cells' emptiness structures.
   std::vector<int32_t> core_slots_;
   FlatHashSet<uint64_t> edges_;
+  SnapshotCache snapshot_cache_;
 };
 
 }  // namespace ddc

@@ -1,8 +1,6 @@
 #include "engine/sharded_clusterer.h"
 
-#include <algorithm>
 #include <chrono>
-#include <map>
 #include <utility>
 
 #include "common/check.h"
@@ -219,14 +217,48 @@ void ShardedClusterer::Flush() {
   }
   if (dirty) {
     // Shard-local component labels are stable only between updates, so any
-    // applied batch invalidates the previous epoch's label table.
-    std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+    // applied batch invalidates the previous epoch's label table. The new
+    // table goes into a fresh object — snapshots of older epochs keep
+    // resolving against theirs.
     stitcher_.Rebuild(
         [this](PointId gid, std::vector<BoundaryStitcher::LabelKey>* out) {
           LabelsOf(gid, out);
         });
     ++epoch_;
   }
+  if (dirty || published_.Load() == nullptr) {
+    PublishSnapshot();
+  }
+}
+
+void ShardedClusterer::PublishSnapshot() {
+  // Workers are quiescent (post-drain): freeze each shard's query state —
+  // the per-shard snapshot caches make this cheap for shards that applied
+  // nothing since their last freeze — plus this epoch's stitch table and
+  // the routing records, and swap the composite in atomically.
+  std::vector<std::shared_ptr<const GridSnapshot>> shard_snaps;
+  std::vector<FlatHashMap<PointId, PointId>> local_of;
+  shard_snaps.reserve(shards_.size());
+  local_of.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    shard_snaps.push_back(std::static_pointer_cast<const GridSnapshot>(
+        shard->clusterer->Snapshot()));
+    local_of.push_back(shard->local_of);
+  }
+  std::vector<ShardedSnapshot::GidRec> recs(points_.size());
+  for (size_t gid = 0; gid < points_.size(); ++gid) {
+    const PointRec& rec = points_[gid];
+    recs[gid] = ShardedSnapshot::GidRec{rec.owner, rec.first_holder,
+                                        rec.last_holder, rec.alive};
+  }
+  published_.Store(std::make_shared<const ShardedSnapshot>(
+      epoch_, std::move(recs), alive_, std::move(shard_snaps),
+      std::move(local_of), stitcher_.table()));
+}
+
+std::shared_ptr<const ClusterSnapshot> ShardedClusterer::Snapshot() {
+  Flush();
+  return published_.Load();
 }
 
 void ShardedClusterer::LabelsOf(PointId gid,
@@ -247,104 +279,14 @@ void ShardedClusterer::LabelsOf(PointId gid,
   }
 }
 
-void ShardedClusterer::GlobalLabels(PointId id,
-                                    std::vector<ClusterLabel>* out) {
-  const PointRec& rec = points_[id];
-  Shard& owner = *shards_[rec.owner];
-  const PointId* owner_local = owner.local_of.Find(id);
-  DDC_CHECK(owner_local != nullptr);
-
-  if (owner.clusterer->is_core(*owner_local)) {
-    // Core status is owned by the owner shard — it alone sees the point's
-    // full (1+ρ)ε neighborhood — and a core point belongs to exactly one
-    // cluster: its owner-side component, canonicalized through the stitch.
-    out->push_back(stitcher_.Resolve(
-        rec.owner, owner.clusterer->CoreLabelOf(*owner_local)));
-    return;
-  }
-
-  // Owner-non-core: union of the memberships every holding shard computes.
-  // Each holder sees a (possibly truncated) neighborhood, but every true
-  // attachment (core point w within ε) is realized in owner(w)'s shard,
-  // which also holds this point — so the union is complete; the stitch
-  // collapses the per-shard labels of one cluster into one.
-  for (int t = rec.first_holder; t <= rec.last_holder; ++t) {
-    Shard& s = *shards_[t];
-    const PointId* local = s.local_of.Find(id);
-    DDC_CHECK(local != nullptr);
-    label_scratch_.clear();
-    s.clusterer->MembershipLabels(*local, &label_scratch_);
-    for (const uint64_t cc : label_scratch_) {
-      out->push_back(stitcher_.Resolve(t, cc));
-    }
-  }
-  std::sort(out->begin(), out->end());
-  out->erase(std::unique(out->begin(), out->end()), out->end());
-}
-
-CGroupByResult ShardedClusterer::Query(const std::vector<PointId>& q) {
-  Flush();
-  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
-
-  CGroupByResult result;
-  std::map<ClusterLabel, std::vector<PointId>> buckets;
-  std::vector<ClusterLabel> labels;
-  for (const PointId gid : q) {
-    if (gid < 0 || gid >= static_cast<PointId>(points_.size()) ||
-        !points_[gid].alive) {
-      continue;
-    }
-    labels.clear();
-    GlobalLabels(gid, &labels);
-    if (labels.empty()) {
-      result.noise.push_back(gid);
-      continue;
-    }
-    for (const ClusterLabel& label : labels) {
-      buckets[label].push_back(gid);
-    }
-  }
-  result.groups.reserve(buckets.size());
-  for (auto& [label, members] : buckets) {
-    result.groups.push_back(std::move(members));
-  }
-  return result;
-}
-
 ClusterLabel ShardedClusterer::ClusterIdOf(PointId id) {
   Flush();
-  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
-  if (id < 0 || id >= static_cast<PointId>(points_.size()) ||
-      !points_[id].alive) {
-    return kNoCluster;
-  }
-  std::vector<ClusterLabel> labels;
-  GlobalLabels(id, &labels);
-  return labels.empty() ? kNoCluster : labels.front();
+  return published_.Load()->LabelOf(id);
 }
 
 bool ShardedClusterer::SameCluster(PointId a, PointId b) {
   Flush();
-  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
-  auto valid = [&](PointId id) {
-    return id >= 0 && id < static_cast<PointId>(points_.size()) &&
-           points_[id].alive;
-  };
-  if (!valid(a) || !valid(b)) return false;
-  std::vector<ClusterLabel> la, lb;
-  GlobalLabels(a, &la);
-  GlobalLabels(b, &lb);
-  // Both sorted; any common label means a shared cluster.
-  size_t i = 0, j = 0;
-  while (i < la.size() && j < lb.size()) {
-    if (la[i] == lb[j]) return true;
-    if (la[i] < lb[j]) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return false;
+  return published_.Load()->SameCluster(a, b);
 }
 
 std::vector<PointId> ShardedClusterer::AlivePoints() const {

@@ -1,10 +1,10 @@
 #ifndef DDC_ENGINE_SHARDED_CLUSTERER_H_
 #define DDC_ENGINE_SHARDED_CLUSTERER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <vector>
 
 #include "common/flat_hash.h"
@@ -12,6 +12,7 @@
 #include "core/fully_dynamic_clusterer.h"
 #include "core/params.h"
 #include "engine/shard_map.h"
+#include "engine/sharded_snapshot.h"
 #include "engine/stitch.h"
 #include "engine/thread_pool.h"
 #include "telemetry/shard_stats.h"
@@ -34,11 +35,16 @@ namespace ddc {
 /// replays in order, so shards=1 reproduces the unsharded engine verbatim —
 /// same op stream, same structures, same don't-care decisions.
 ///
-/// Queries. Query/ClusterIdOf/SameCluster first drain the queues (Flush),
-/// then rebuild the stitch table — a union-find over shard-local component
-/// labels, fed by the incrementally maintained boundary core-core edge set
-/// (see BoundaryStitcher) — and resolve labels through it under the epoch
-/// lock. An owner-core point belongs exactly to its owner's component; a
+/// Queries. Every Flush that applied work rebuilds the stitch table — a
+/// union-find over shard-local component labels, fed by the incrementally
+/// maintained boundary core-core edge set (see BoundaryStitcher) — then
+/// composes a ShardedSnapshot (per-shard frozen GridSnapshots + the stitch
+/// label table + routing records) and publishes it by an atomic shared_ptr
+/// swap: one immutable epoch, readable lock-free from any number of
+/// threads while further updates flow. Query/ClusterIdOf/SameCluster are
+/// Flush + a resolve against the published snapshot; CurrentSnapshot() is
+/// the wait-free read-side entry point (the latest published epoch, no
+/// flush). An owner-core point belongs exactly to its owner's component; a
 /// point that is non-core in its owner shard takes the union of the
 /// memberships every holding shard computes for it, which restores the
 /// cross-boundary attachments a single truncated halo cannot see. The
@@ -46,12 +52,7 @@ namespace ddc {
 /// exact DBSCAN verbatim at rho == 0 (tests/conformance_test.cc).
 ///
 /// Threading contract: one ingest thread at a time (like every Clusterer);
-/// the engine's workers are internal. The stitch table itself is published
-/// under an epoch/reader-writer gate, so label resolution never observes a
-/// half-rebuilt table even if a reader races a concurrent Flush; point-level
-/// queries additionally read shard internals and must therefore be
-/// externally serialized with updates, exactly as for the single-threaded
-/// clusterers.
+/// the engine's workers are internal; snapshot readers are unrestricted.
 class ShardedClusterer : public Clusterer {
  public:
   struct Options {
@@ -76,11 +77,20 @@ class ShardedClusterer : public Clusterer {
 
   PointId Insert(const Point& p) override;
   void Delete(PointId id) override;
-  CGroupByResult Query(const std::vector<PointId>& q) override;
+
+  /// Flush + the published snapshot of the resulting epoch.
+  std::shared_ptr<const ClusterSnapshot> Snapshot() override;
+
+  /// The latest published epoch: safe from any thread, concurrently with
+  /// ingest and the workers; null before the first Flush.
+  std::shared_ptr<const ClusterSnapshot> CurrentSnapshot() const override {
+    return published_.Load();
+  }
 
   /// Publishes pending batches, blocks until every shard applied its stream,
   /// folds the boundary core deltas into the stitcher, and — when anything
-  /// changed — rebuilds the stitch label table for a new epoch.
+  /// changed — rebuilds the stitch label table for a new epoch and publishes
+  /// a fresh ShardedSnapshot.
   void Flush() override;
 
   std::vector<PointId> AlivePoints() const override;
@@ -98,7 +108,7 @@ class ShardedClusterer : public Clusterer {
   /// True when some cluster contains both points. Implies Flush.
   bool SameCluster(PointId a, PointId b);
 
-  /// Monotone counter bumped by every stitch rebuild.
+  /// Monotone counter bumped by every stitch rebuild (ingest thread).
   uint64_t epoch() const { return epoch_; }
 
   /// Per-shard occupancy/load snapshot. Implies Flush (const_cast-free
@@ -174,9 +184,9 @@ class ShardedClusterer : public Clusterer {
   void FinishWarmup();
   /// Labels callback for BoundaryStitcher::Rebuild.
   void LabelsOf(PointId gid, std::vector<BoundaryStitcher::LabelKey>* out);
-  /// Distinct stitched labels of the clusters containing `id` (sorted).
-  /// Requires a flushed engine and the epoch lock held (shared).
-  void GlobalLabels(PointId id, std::vector<ClusterLabel>* out);
+  /// Composes and publishes the ShardedSnapshot of the current epoch.
+  /// Requires quiescent workers (call right after the drain barrier).
+  void PublishSnapshot();
 
   DbscanParams params_;
   Options options_;
@@ -192,12 +202,13 @@ class ShardedClusterer : public Clusterer {
   int64_t warmup_inserts_ = 0;
 
   BoundaryStitcher stitcher_;
-  /// Guards the stitch label table: Flush rebuilds under the writer side,
-  /// label resolution reads under the reader side.
-  mutable std::shared_mutex epoch_mu_;
   uint64_t epoch_ = 0;
 
-  std::vector<uint64_t> label_scratch_;
+  /// The read side: the latest composed epoch, swapped in by
+  /// PublishSnapshot and loaded by readers (see SharedPtrSlot). Replaces
+  /// the former reader-writer gate on the query path — no lock is ever
+  /// held while a reader resolves labels.
+  SharedPtrSlot<const ShardedSnapshot> published_;
 };
 
 }  // namespace ddc

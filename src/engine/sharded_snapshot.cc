@@ -1,0 +1,107 @@
+#include "engine/sharded_snapshot.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ddc {
+
+ShardedSnapshot::ShardedSnapshot(
+    uint64_t epoch, std::vector<GidRec> points, int64_t alive,
+    std::vector<std::shared_ptr<const GridSnapshot>> shards,
+    std::vector<FlatHashMap<PointId, PointId>> local_of,
+    std::shared_ptr<const BoundaryStitcher::LabelTable> stitch)
+    : ClusterSnapshot(epoch),
+      points_(std::move(points)),
+      alive_(alive),
+      shards_(std::move(shards)),
+      local_of_(std::move(local_of)),
+      stitch_(std::move(stitch)) {
+  DDC_CHECK(shards_.size() == local_of_.size());
+  DDC_CHECK(stitch_ != nullptr);
+}
+
+void ShardedSnapshot::Labels(PointId id,
+                             std::vector<ClusterLabel>* out) const {
+  const GidRec& rec = points_[id];
+  const GridSnapshot& owner = *shards_[rec.owner];
+  const PointId* owner_local = local_of_[rec.owner].Find(id);
+  DDC_CHECK(owner_local != nullptr);
+
+  if (owner.is_core(*owner_local)) {
+    // Core status is owned by the owner shard — it alone sees the point's
+    // full (1+ρ)ε neighborhood — and a core point belongs to exactly one
+    // cluster: its owner-side component, canonicalized through the stitch.
+    out->push_back(
+        stitch_->Resolve(rec.owner, owner.CoreLabelOf(*owner_local)));
+    return;
+  }
+
+  // Owner-non-core: union of the memberships every holding shard computes.
+  // Each holder sees a (possibly truncated) neighborhood, but every true
+  // attachment (core point w within ε) is realized in owner(w)'s shard,
+  // which also holds this point — so the union is complete; the stitch
+  // collapses the per-shard labels of one cluster into one.
+  for (int t = rec.first_holder; t <= rec.last_holder; ++t) {
+    const GridSnapshot& s = *shards_[t];
+    const PointId* local = local_of_[t].Find(id);
+    DDC_CHECK(local != nullptr);
+    s.ForEachMembershipLabel(*local, [&](uint64_t cc) {
+      out->push_back(stitch_->Resolve(t, cc));
+    });
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+CGroupByResult ShardedSnapshot::Query(const std::vector<PointId>& q) const {
+  CGroupByResult result;
+  std::map<ClusterLabel, std::vector<PointId>> buckets;
+  std::vector<ClusterLabel> labels;
+  for (const PointId gid : q) {
+    if (!alive(gid)) continue;
+    labels.clear();
+    Labels(gid, &labels);
+    if (labels.empty()) {
+      result.noise.push_back(gid);
+      continue;
+    }
+    for (const ClusterLabel& label : labels) {
+      buckets[label].push_back(gid);
+    }
+  }
+  result.groups.reserve(buckets.size());
+  for (auto& [label, members] : buckets) {
+    result.groups.push_back(std::move(members));
+  }
+  return result;
+}
+
+ClusterLabel ShardedSnapshot::LabelOf(PointId id) const {
+  if (!alive(id)) return kNoCluster;
+  std::vector<ClusterLabel> labels;
+  Labels(id, &labels);
+  return labels.empty() ? kNoCluster : labels.front();
+}
+
+bool ShardedSnapshot::SameCluster(PointId a, PointId b) const {
+  if (!alive(a) || !alive(b)) return false;
+  std::vector<ClusterLabel> la, lb;
+  Labels(a, &la);
+  Labels(b, &lb);
+  // Both sorted; any common label means a shared cluster.
+  size_t i = 0, j = 0;
+  while (i < la.size() && j < lb.size()) {
+    if (la[i] == lb[j]) return true;
+    if (la[i] < lb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace ddc

@@ -7,7 +7,10 @@
 namespace ddc {
 
 BoundaryStitcher::BoundaryStitcher(int dim, double eps)
-    : dim_(dim), eps_(eps), eps_sq_(eps * eps) {
+    : dim_(dim),
+      eps_(eps),
+      eps_sq_(eps * eps),
+      table_(std::make_shared<LabelTable>()) {
   DDC_CHECK(dim >= 1 && dim <= kMaxDim);
   DDC_CHECK(eps > 0);
 }
@@ -88,18 +91,20 @@ void BoundaryStitcher::RemoveCore(PointId gid) {
   points_.Erase(gid);
 }
 
-int32_t BoundaryStitcher::InternKey(const LabelKey& key) {
+int32_t BoundaryStitcher::InternKey(LabelTable& table, UnionFind& uf,
+                                    const LabelKey& key) {
   auto [idx, inserted] =
-      label_index_.Emplace(key, static_cast<int32_t>(label_index_.size()));
-  if (inserted) label_uf_.EnsureSize(*idx + 1);
+      table.index_.Emplace(key, static_cast<int32_t>(table.index_.size()));
+  if (inserted) uf.EnsureSize(*idx + 1);
   return *idx;
 }
 
 void BoundaryStitcher::Rebuild(
     const std::function<void(PointId, std::vector<LabelKey>*)>& labels_of) {
-  label_index_.Clear();
-  label_uf_ = UnionFind();
-  label_root_.clear();
+  // A fresh table per epoch: snapshots holding the previous one keep
+  // resolving against their own frozen epoch.
+  auto table = std::make_shared<LabelTable>();
+  UnionFind uf;
 
   // Pass 1: same-point rule. Every shard where a registered point is
   // locally core contributes a key; all of one point's keys collapse.
@@ -112,10 +117,10 @@ void BoundaryStitcher::Rebuild(
     // Registered points are core in their owner shard by construction, and
     // labels_of lists the owner first.
     DDC_CHECK(!keys.empty() && keys[0].shard == rec.shard);
-    const int32_t first = InternKey(keys[0]);
+    const int32_t first = InternKey(*table, uf, keys[0]);
     owner_key[gid] = first;
     for (size_t i = 1; i < keys.size(); ++i) {
-      label_uf_.Union(first, InternKey(keys[i]));
+      uf.Union(first, InternKey(*table, uf, keys[i]));
     }
   });
 
@@ -125,21 +130,15 @@ void BoundaryStitcher::Rebuild(
   points_.ForEach([&](const PointId& gid, const PointRec& rec) {
     for (const PointId partner : rec.edges) {
       if (partner < gid) continue;
-      label_uf_.Union(*owner_key.Find(gid), *owner_key.Find(partner));
+      uf.Union(*owner_key.Find(gid), *owner_key.Find(partner));
     }
   });
 
-  label_root_.resize(label_index_.size());
-  for (int32_t i = 0; i < static_cast<int32_t>(label_root_.size()); ++i) {
-    label_root_[i] = label_uf_.Find(i);
+  table->root_.resize(table->index_.size());
+  for (int32_t i = 0; i < static_cast<int32_t>(table->root_.size()); ++i) {
+    table->root_[i] = uf.Find(i);
   }
-}
-
-ClusterLabel BoundaryStitcher::Resolve(int32_t shard, uint64_t cc) const {
-  const int32_t* idx = label_index_.Find(LabelKey{shard, cc});
-  if (idx == nullptr) return ClusterLabel{shard, cc};
-  return ClusterLabel{ClusterLabel::kStitchedShard,
-                      static_cast<uint64_t>(label_root_[*idx])};
+  table_ = std::move(table);
 }
 
 }  // namespace ddc

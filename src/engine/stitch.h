@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/flat_hash.h"
@@ -112,19 +113,47 @@ class BoundaryStitcher {
     }
   };
 
-  /// Rebuilds the label union-find for the current epoch. For every
-  /// registered point, `labels_of(gid, &keys)` must append one LabelKey per
-  /// shard where the point is *currently locally core* — owner first
-  /// (owner-core is an invariant of registration). All of a point's keys
-  /// are unioned together (same-point rule), and every cross-shard edge
-  /// unions its endpoints' owner keys (edge rule).
+  /// The frozen outcome of one Rebuild: (shard, cc) -> union-find index and
+  /// the resolved root per index. Immutable once built, shared by reference
+  /// with published cluster snapshots, so readers resolve labels of *their*
+  /// epoch no matter how many rebuilds happen afterwards.
+  class LabelTable {
+   public:
+    /// Canonical label for shard-local component `cc` of `shard`: a
+    /// stitched root when the component crosses a boundary, else the
+    /// (shard, cc) identity itself. Thread-safe (pure lookup).
+    ClusterLabel Resolve(int32_t shard, uint64_t cc) const {
+      const int32_t* idx = index_.Find(LabelKey{shard, cc});
+      if (idx == nullptr) return ClusterLabel{shard, cc};
+      return ClusterLabel{ClusterLabel::kStitchedShard,
+                          static_cast<uint64_t>(root_[*idx])};
+    }
+
+   private:
+    friend class BoundaryStitcher;
+    FlatHashMap<LabelKey, int32_t, LabelKeyHash> index_;
+    std::vector<int32_t> root_;
+  };
+
+  /// Rebuilds the label union-find for the current epoch into a fresh
+  /// LabelTable (the previous table object is left untouched for snapshots
+  /// still holding it). For every registered point, `labels_of(gid, &keys)`
+  /// must append one LabelKey per shard where the point is *currently
+  /// locally core* — owner first (owner-core is an invariant of
+  /// registration). All of a point's keys are unioned together (same-point
+  /// rule), and every cross-shard edge unions its endpoints' owner keys
+  /// (edge rule).
   void Rebuild(
       const std::function<void(PointId, std::vector<LabelKey>*)>& labels_of);
 
   /// Canonical label for shard-local component `cc` of `shard`, as of the
-  /// last Rebuild: a stitched root when the component crosses a boundary,
-  /// else the (shard, cc) identity itself.
-  ClusterLabel Resolve(int32_t shard, uint64_t cc) const;
+  /// last Rebuild (identity before the first one).
+  ClusterLabel Resolve(int32_t shard, uint64_t cc) const {
+    return table_->Resolve(shard, cc);
+  }
+
+  /// The frozen label table of the last Rebuild; never null.
+  std::shared_ptr<const LabelTable> table() const { return table_; }
 
  private:
   struct PointRec {
@@ -133,7 +162,8 @@ class BoundaryStitcher {
     std::vector<PointId> edges;  // Cross-shard partners within eps.
   };
 
-  int32_t InternKey(const LabelKey& key);
+  static int32_t InternKey(LabelTable& table, UnionFind& uf,
+                           const LabelKey& key);
 
   int dim_;
   double eps_;
@@ -145,11 +175,7 @@ class BoundaryStitcher {
   int64_t num_edges_ = 0;
   std::vector<int64_t> per_shard_points_;  // Registered points per shard.
 
-  /// Label table of the last Rebuild: (shard, cc) -> union-find index, and
-  /// the resolved root per index.
-  FlatHashMap<LabelKey, int32_t, LabelKeyHash> label_index_;
-  UnionFind label_uf_;
-  std::vector<int32_t> label_root_;
+  std::shared_ptr<const LabelTable> table_;
 };
 
 }  // namespace ddc

@@ -471,6 +471,65 @@ class HotspotScenario : public Scenario {
 };
 
 // ---------------------------------------------------------------------------
+// query-storm — update trickle under a heavy C-group-by query mix.
+
+class QueryStormScenario : public Scenario {
+ public:
+  std::string name() const override { return "query-storm"; }
+  std::string help() const override {
+    return "Serving-shaped load: a blob population builds up, then churns"
+           " slowly (ins-fraction inserts into Zipf-free random blobs,"
+           " deletes of random alive points) while large C-group-by queries"
+           " fire every qevery updates — the read-heavy inverse of the"
+           " update-heavy scenarios, built for the snapshot read path and"
+           " --query-threads. Keys: n=40000, clusters=12, ins=0.6,"
+           " radius=100, noise=0.02, dim=3, qevery=5, qmin=32, qmax=128,"
+           " extent=20000, seed";
+  }
+
+  Workload Generate(const ScenarioSpec& spec) const override {
+    CommonKeys keys;
+    keys.n = spec.GetInt("n", 40000);
+    keys.dim = static_cast<int>(spec.GetInt("dim", 3));
+    keys.query_every = spec.GetInt("qevery", 5);
+    keys.query_min = static_cast<int>(spec.GetInt("qmin", 32));
+    keys.query_max = static_cast<int>(spec.GetInt("qmax", 128));
+    DDC_CHECK(keys.n > 0);
+    DDC_CHECK(keys.dim >= 1 && keys.dim <= kMaxDim);
+    const int clusters =
+        static_cast<int>(std::max<int64_t>(1, spec.GetInt("clusters", 12)));
+    const double ins = spec.GetDouble("ins", 0.6);
+    const double radius = spec.GetDouble("radius", 100.0);
+    const double noise = spec.GetDouble("noise", 0.02);
+    const double extent = spec.GetDouble("extent", 20000.0);
+    DDC_CHECK(ins > 0 && ins <= 1);
+
+    Rng rng(spec.seed());
+    std::vector<Point> centers;
+    for (int c = 0; c < clusters; ++c) {
+      centers.push_back(UniformPoint(rng, keys.dim, extent));
+    }
+
+    WorkloadBuilder b(rng, keys.dim, keys.query_every, keys.query_min,
+                      keys.query_max);
+    while (b.updates() < keys.n) {
+      const bool do_insert = b.alive_count() <= 1 || rng.NextBernoulli(ins);
+      if (!do_insert) {
+        b.DeleteRandomAlive();
+        continue;
+      }
+      if (rng.NextBernoulli(noise)) {
+        b.InsertNew(UniformPoint(rng, keys.dim, extent));
+        continue;
+      }
+      b.InsertNew(UniformInBall(centers[rng.NextBelow(centers.size())],
+                                radius, keys.dim, rng));
+    }
+    return b.Finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
 // split-merge — adversarial bridge oscillation between two dense blobs.
 
 class SplitMergeScenario : public Scenario {
@@ -544,6 +603,7 @@ const std::vector<std::unique_ptr<Scenario>>& AllScenarios() {
     all->push_back(std::make_unique<ZipfScenario>());
     all->push_back(std::make_unique<DriftScenario>());
     all->push_back(std::make_unique<HotspotScenario>());
+    all->push_back(std::make_unique<QueryStormScenario>());
     all->push_back(std::make_unique<SplitMergeScenario>());
     return all;
   }();

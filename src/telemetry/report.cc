@@ -125,6 +125,9 @@ std::string BenchJson(const BenchRecord& record) {
   j.Key("avg_query_cost_us").Double(s.avg_query_cost_us);
   j.Key("max_update_cost_us").Double(s.max_update_cost_us);
   j.Key("peak_rss_bytes").Int(record.peak_rss_bytes);
+  j.Key("query_threads").Int(s.query_threads);
+  j.Key("reader_queries").Int(s.reader_queries_executed);
+  j.Key("reader_queries_per_sec").Double(s.reader_queries_per_sec);
   j.EndObject();
 
   j.Key("latency_us").BeginObject();
@@ -134,6 +137,8 @@ std::string BenchJson(const BenchRecord& record) {
   WriteLatencySummary(j, s.delete_latency_us);
   j.Key("query");
   WriteLatencySummary(j, s.query_latency_us);
+  j.Key("reader_query");
+  WriteLatencySummary(j, s.reader_query_latency_us);
   j.EndObject();
 
   j.Key("checkpoints").BeginObject();
@@ -185,7 +190,8 @@ bool ValidateBenchJson(const std::string& json, std::string* why) {
   const JsonValue* run = doc->Find("run");
   for (const char* key :
        {"ops_executed", "total_seconds", "throughput_ops_per_sec",
-        "avg_workload_cost_us", "max_update_cost_us", "peak_rss_bytes"}) {
+        "avg_workload_cost_us", "max_update_cost_us", "peak_rss_bytes",
+        "query_threads", "reader_queries", "reader_queries_per_sec"}) {
     const JsonValue* v = run->Find(key);
     if (v == nullptr || v->type != JsonValue::Type::kNumber) {
       return fail(std::string("run missing numeric key '") + key + "'");
@@ -196,7 +202,7 @@ bool ValidateBenchJson(const std::string& json, std::string* why) {
     return fail("run missing bool key 'timed_out'");
   }
   const JsonValue* latency = doc->Find("latency_us");
-  for (const char* op : {"insert", "delete", "query"}) {
+  for (const char* op : {"insert", "delete", "query", "reader_query"}) {
     const JsonValue* h = latency->Find(op);
     if (h == nullptr || h->type != JsonValue::Type::kObject) {
       return fail(std::string("latency_us missing op '") + op + "'");

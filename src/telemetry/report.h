@@ -55,7 +55,9 @@ struct BenchRecord {
 
 /// Version of the BENCH JSON schema below. Bump on any breaking change to
 /// field names, nesting, or units.
-inline constexpr int kBenchSchemaVersion = 1;
+///   v2: concurrent read side — run.query_threads, run.reader_queries,
+///       run.reader_queries_per_sec, latency_us.reader_query.
+inline constexpr int kBenchSchemaVersion = 2;
 
 /// Renders the schema-stable BENCH document: schema_version, scenario,
 /// method, params, workload shape, run aggregates (throughput, timed_out,

@@ -24,6 +24,12 @@ int UnionFind::Find(int x) {
   return root;
 }
 
+int UnionFind::FindReadOnly(int x) const {
+  DDC_DCHECK(x >= 0 && x < size());
+  while (parent_[x] != x) x = parent_[x];
+  return x;
+}
+
 bool UnionFind::Union(int a, int b) {
   a = Find(a);
   b = Find(b);

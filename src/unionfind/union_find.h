@@ -24,6 +24,11 @@ class UnionFind {
   /// Representative of x's set, with path compression.
   int Find(int x);
 
+  /// Representative of x's set without path compression: a mutation-free
+  /// walk to the root, for const-safe lookups from frozen snapshots. Same
+  /// result as Find(x), amortization aside.
+  int FindReadOnly(int x) const;
+
   /// Merges the sets of a and b; returns true when they were distinct.
   bool Union(int a, int b);
 

@@ -1,15 +1,72 @@
 #include "workload/runner.h"
 
+#include <atomic>
 #include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
 
 #include "common/check.h"
+#include "core/cluster_snapshot.h"
 
 namespace ddc {
+
+namespace {
+
+/// One published unit of read-side work: a frozen snapshot and the query
+/// ids resolved for it. Readers pick up whatever is latest; the updater
+/// swaps in a fresh one at every query operation.
+struct ReaderWork {
+  std::shared_ptr<const ClusterSnapshot> snapshot;
+  std::vector<PointId> qids;
+};
+
+}  // namespace
 
 RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
                      const RunOptions& options) {
   using Clock = std::chrono::steady_clock;
   RunStats stats;
+  stats.query_threads = options.query_threads;
+
+  // The read side: N closed-loop readers over the latest published
+  // {snapshot, qids}. Communication is one published shared_ptr slot —
+  // readers never block the updater and vice versa, and no lock is held
+  // while a query runs. Each reader times into its own histogram; a reader
+  // that saw work runs at least one query before honoring the stop flag,
+  // so reader stats are never silently empty.
+  SharedPtrSlot<const ReaderWork> reader_work;
+  std::atomic<bool> reader_stop{false};
+  std::vector<std::thread> readers;
+  std::vector<LatencyHistogram> reader_hist(
+      std::max(options.query_threads, 0));
+  std::vector<int64_t> reader_count(reader_hist.size(), 0);
+  const bool concurrent_readers =
+      options.query_threads > 0 && workload.num_queries > 0;
+  if (concurrent_readers) {
+    readers.reserve(options.query_threads);
+    for (int r = 0; r < options.query_threads; ++r) {
+      readers.emplace_back([&, r] {
+        for (;;) {
+          const std::shared_ptr<const ReaderWork> w = reader_work.Load();
+          if (w == nullptr) {
+            if (reader_stop.load(std::memory_order_acquire)) break;
+            std::this_thread::yield();
+            continue;
+          }
+          const Clock::time_point t0 = Clock::now();
+          const CGroupByResult result = w->snapshot->Query(w->qids);
+          const Clock::time_point t1 = Clock::now();
+          // Keep the optimizer honest.
+          DDC_CHECK(result.groups.size() + result.noise.size() + 1 > 0);
+          reader_hist[r].Record(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+          ++reader_count[r];
+          if (reader_stop.load(std::memory_order_acquire)) break;
+        }
+      });
+    }
+  }
   const int64_t total_ops = static_cast<int64_t>(workload.ops.size());
   const int64_t checkpoint_stride =
       options.num_checkpoints > 0
@@ -54,6 +111,17 @@ RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
         id_of[op.target] = kInvalidPoint;
         break;
       case Operation::Type::kQuery: {
+        if (concurrent_readers) {
+          // Publish: freeze the clustering as of this operation and hand
+          // {snapshot, qids} to the readers. The timed cost is snapshot
+          // construction + the pointer swap — the updater's entire query
+          // bill in concurrent mode.
+          auto work = std::make_shared<ReaderWork>();
+          work->snapshot = clusterer.Snapshot();
+          work->qids = query_ids;
+          reader_work.Store(std::move(work));
+          break;
+        }
         const CGroupByResult r = clusterer.Query(query_ids);
         // Keep the optimizer honest.
         DDC_CHECK(r.groups.size() + r.noise.size() + 1 > 0);
@@ -98,6 +166,17 @@ RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
   // them inside the timing window so throughput reflects applied work.
   clusterer.Flush();
 
+  // Stop the read side inside the timing window too — reader throughput is
+  // measured against the same wall clock as the update stream.
+  if (concurrent_readers) {
+    reader_stop.store(true, std::memory_order_release);
+    for (std::thread& t : readers) t.join();
+    for (size_t r = 0; r < reader_hist.size(); ++r) {
+      stats.reader_query_latency_us.MergeFrom(reader_hist[r]);
+      stats.reader_queries_executed += reader_count[r];
+    }
+  }
+
   // A truncated run still ends with a terminal checkpoint at ops_executed,
   // so the series covers exactly the executed prefix.
   if (stats.ops_executed > 0 &&
@@ -122,6 +201,11 @@ RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
   if (stats.queries_executed > 0) {
     stats.avg_query_cost_us =
         query_cost_us / static_cast<double>(stats.queries_executed);
+  }
+  if (stats.total_seconds > 0) {
+    stats.reader_queries_per_sec =
+        static_cast<double>(stats.reader_queries_executed) /
+        stats.total_seconds;
   }
   return stats;
 }

@@ -24,10 +24,20 @@ struct RunStats {
 
   /// Full latency distributions per operation type (microseconds). Only the
   /// clusterer call is timed — runner bookkeeping (query-id resolution,
-  /// checkpointing) stays outside the measured window.
+  /// checkpointing) stays outside the measured window. With query_threads
+  /// > 0 the main thread publishes a snapshot instead of executing query
+  /// ops, and query_latency_us records that publication cost.
   LatencyHistogram insert_latency_us;
   LatencyHistogram delete_latency_us;
   LatencyHistogram query_latency_us;
+
+  /// Concurrent read side (populated when RunOptions::query_threads > 0):
+  /// the merged latency distribution of every closed-loop reader query,
+  /// their total count, and the aggregate reader throughput over the run.
+  int query_threads = 0;
+  LatencyHistogram reader_query_latency_us;
+  int64_t reader_queries_executed = 0;
+  double reader_queries_per_sec = 0;
 
   /// Final aggregates: "average workload cost" = avgcost(W).
   double avg_workload_cost_us = 0;
@@ -50,6 +60,16 @@ struct RunOptions {
   int num_checkpoints = 10;
   /// Abort the run when it exceeds this budget (<= 0: unlimited).
   double time_budget_seconds = 0;
+  /// Closed-loop snapshot reader threads. 0 (the default) replays queries
+  /// on the main thread, exactly as before. N > 0 moves the read side off
+  /// the update path: the main thread drives the update stream and, at
+  /// every query operation, publishes a fresh ClusterSnapshot plus that
+  /// operation's resolved query ids; the N readers loop over the latest
+  /// published work, each timing its own queries into a local histogram
+  /// (merged into RunStats at the end). Readers never synchronize with the
+  /// updater beyond the atomic work handle — the measurement of the
+  /// lock-free read path.
+  int query_threads = 0;
 };
 
 /// Replays `workload` against `clusterer`, timing every operation.

@@ -239,6 +239,9 @@ INSTANTIATE_TEST_SUITE_P(
             ScenarioCase{"Hotspot",
                          "hotspot:n=360,clusters=3,cold=3,band=0.15,dim=2,"
                          "extent=2500,qevery=0"},
+            ScenarioCase{"QueryStorm",
+                         "query-storm:n=360,clusters=3,dim=2,extent=2500,"
+                         "qevery=0"},
             ScenarioCase{"SplitMerge",
                          "split-merge:n=360,eps=110,blob=40,dim=2,qevery=0"}),
         ::testing::Values(0.0, 0.001)),

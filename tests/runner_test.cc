@@ -1,0 +1,162 @@
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cluster_snapshot.h"
+#include "core/clusterer.h"
+#include "core/fully_dynamic_clusterer.h"
+#include "workload/runner.h"
+#include "workload/workload.h"
+
+namespace ddc {
+namespace {
+
+/// Runner-semantics tests: the timing-window contract (Flush happens before
+/// the window closes; a timed-out run still ends with a terminal
+/// checkpoint) and the concurrent-reader bookkeeping.
+
+class EmptySnapshot final : public ClusterSnapshot {
+ public:
+  EmptySnapshot() : ClusterSnapshot(0) {}
+  CGroupByResult Query(const std::vector<PointId>&) const override {
+    return CGroupByResult{};
+  }
+  bool alive(PointId) const override { return false; }
+  int64_t size() const override { return 0; }
+};
+
+/// A clusterer whose operations burn configurable wall time, for pinning
+/// down what the runner measures and when it calls Flush.
+class SlowFakeClusterer final : public Clusterer {
+ public:
+  explicit SlowFakeClusterer(std::chrono::microseconds op_delay,
+                             std::chrono::microseconds flush_delay)
+      : op_delay_(op_delay),
+        flush_delay_(flush_delay),
+        snapshot_(std::make_shared<EmptySnapshot>()) {}
+
+  PointId Insert(const Point&) override {
+    std::this_thread::sleep_for(op_delay_);
+    return next_id_++;
+  }
+  void Delete(PointId) override { std::this_thread::sleep_for(op_delay_); }
+  std::shared_ptr<const ClusterSnapshot> Snapshot() override {
+    return snapshot_;
+  }
+  std::shared_ptr<const ClusterSnapshot> CurrentSnapshot() const override {
+    return snapshot_;
+  }
+  void Flush() override {
+    std::this_thread::sleep_for(flush_delay_);
+    ++flush_calls_;
+  }
+  std::vector<PointId> AlivePoints() const override { return {}; }
+  const DbscanParams& params() const override { return params_; }
+  int64_t size() const override { return next_id_; }
+
+  int flush_calls() const { return flush_calls_; }
+
+ private:
+  std::chrono::microseconds op_delay_;
+  std::chrono::microseconds flush_delay_;
+  std::shared_ptr<const EmptySnapshot> snapshot_;
+  DbscanParams params_;
+  PointId next_id_ = 0;
+  int flush_calls_ = 0;
+};
+
+Workload InsertOnlyWorkload(int n) {
+  Workload w;
+  w.dim = 2;
+  for (int i = 0; i < n; ++i) {
+    w.points.push_back(Point{static_cast<double>(i), 0.0});
+    Operation op;
+    op.type = Operation::Type::kInsert;
+    op.target = i;
+    w.ops.push_back(op);
+  }
+  w.num_inserts = w.num_updates = n;
+  return w;
+}
+
+TEST(RunnerTest, TimedOutRunEndsWithTerminalCheckpoint) {
+  SlowFakeClusterer c(std::chrono::microseconds(500),
+                      std::chrono::microseconds(0));
+  const Workload w = InsertOnlyWorkload(10000);
+  RunOptions options;
+  options.num_checkpoints = 4;
+  options.time_budget_seconds = 0.02;
+  const RunStats stats = RunWorkload(c, w, options);
+
+  EXPECT_TRUE(stats.timed_out);
+  EXPECT_LT(stats.ops_executed, 10000);
+  EXPECT_GT(stats.ops_executed, 0);
+  // The truncated series still covers exactly the executed prefix: one
+  // terminal checkpoint at ops_executed, arrays aligned.
+  ASSERT_FALSE(stats.checkpoint_ops.empty());
+  EXPECT_EQ(stats.checkpoint_ops.back(), stats.ops_executed);
+  EXPECT_EQ(stats.checkpoint_ops.size(), stats.avg_cost_us.size());
+  EXPECT_EQ(stats.checkpoint_ops.size(), stats.max_upd_cost_us.size());
+}
+
+TEST(RunnerTest, FlushRunsExactlyOnceInsideTheTimingWindow) {
+  const auto flush_delay = std::chrono::milliseconds(30);
+  SlowFakeClusterer c(std::chrono::microseconds(0), flush_delay);
+  const Workload w = InsertOnlyWorkload(50);
+  const RunStats stats = RunWorkload(c, w, RunOptions{});
+
+  EXPECT_EQ(c.flush_calls(), 1);
+  // total_seconds is read after Flush returns, so enqueued-but-unapplied
+  // work can never leak out of the throughput window.
+  EXPECT_GE(stats.total_seconds,
+            std::chrono::duration<double>(flush_delay).count());
+  EXPECT_FALSE(stats.timed_out);
+  EXPECT_EQ(stats.ops_executed, 50);
+}
+
+TEST(RunnerTest, ReaderStatsAreZeroWithoutQueryThreads) {
+  SlowFakeClusterer c(std::chrono::microseconds(0),
+                      std::chrono::microseconds(0));
+  const Workload w = InsertOnlyWorkload(10);
+  const RunStats stats = RunWorkload(c, w, RunOptions{});
+  EXPECT_EQ(stats.query_threads, 0);
+  EXPECT_EQ(stats.reader_queries_executed, 0);
+  EXPECT_EQ(stats.reader_query_latency_us.count(), 0);
+  EXPECT_EQ(stats.reader_queries_per_sec, 0);
+}
+
+TEST(RunnerTest, ConcurrentReadersMergeIntoRunStats) {
+  WorkloadConfig config;
+  config.num_updates = 400;
+  config.insert_fraction = 0.8;
+  config.query_every = 50;
+  config.spreader.dim = 2;
+  config.spreader.extent = 2000.0;
+  config.seed = 11;
+  const Workload w = BuildWorkload(config);
+  ASSERT_GT(w.num_queries, 0);
+
+  const DbscanParams params{.dim = 2, .eps = 100.0, .min_pts = 5, .rho = 0};
+  FullyDynamicClusterer c(params);
+  RunOptions options;
+  options.query_threads = 2;
+  const RunStats stats = RunWorkload(c, w, options);
+
+  EXPECT_EQ(stats.query_threads, 2);
+  // Once work is published, every reader completes at least one query
+  // before honoring the stop flag.
+  EXPECT_GE(stats.reader_queries_executed, 2);
+  EXPECT_EQ(stats.reader_query_latency_us.count(),
+            stats.reader_queries_executed);
+  EXPECT_GT(stats.reader_queries_per_sec, 0);
+  // The main thread published one snapshot per query op (its timed cost
+  // lands in query_latency_us) and never ran the queries itself.
+  EXPECT_EQ(stats.queries_executed, w.num_queries);
+  EXPECT_EQ(stats.query_latency_us.count(), w.num_queries);
+}
+
+}  // namespace
+}  // namespace ddc

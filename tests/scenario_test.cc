@@ -20,6 +20,7 @@ const char* kTinySpecs[] = {
     "zipf:n=600,clusters=8,alpha=1.2,ins=0.8,qevery=100",
     "drift:n=600,clusters=4,window=200,qevery=100",
     "hotspot:n=600,clusters=4,cold=6,band=0.1,qevery=100",
+    "query-storm:n=600,clusters=4,qevery=10,qmin=8,qmax=32",
     "split-merge:n=600,eps=150,qevery=100",
 };
 
@@ -215,6 +216,20 @@ TEST(ScenarioWorkloadsTest, ScenarioShapesMatchTheirContracts) {
   {
     const Workload w = BuildScenarioWorkload("zipf:n=200,dim=5", 1);
     EXPECT_EQ(w.dim, 5);
+  }
+  // query-storm: queries dominate the op stream (one every qevery=5
+  // updates by default), with the configured |Q| bounds, and the trickle
+  // includes genuine churn.
+  {
+    const Workload w =
+        BuildScenarioWorkload("query-storm:n=1000,qevery=5,qmin=8,qmax=16", 1);
+    EXPECT_GE(w.num_queries, 1000 / 5 - 1);
+    EXPECT_GT(w.num_deletes, 0);
+    for (const Operation& op : w.ops) {
+      if (op.type == Operation::Type::kQuery) {
+        EXPECT_LE(op.query.size(), 16u);
+      }
+    }
   }
 }
 

@@ -21,6 +21,12 @@
 //                 semi-dynamic methods are skipped on workloads with deletes).
 //   --threads     Default worker-thread count for sharded methods: appended
 //                 as threads=N to every sharded-* spec that does not set it.
+//   --query-threads
+//                 Closed-loop snapshot reader threads (default 0 = queries
+//                 run on the main thread). With N > 0 the main thread
+//                 publishes a snapshot at each query op and N readers hammer
+//                 the latest one; BENCH records reader count, query total
+//                 and aggregate reader throughput (run.reader_*).
 //   --eps         Absolute epsilon. Default: --eps-over-d (100) * dim.
 //   --minpts      MinPts (default 10).
 //   --rho         Approximation slack (default 0.001; exact methods force 0).
@@ -137,6 +143,9 @@ int main(int argc, char** argv) {
 
   const double budget = flags.GetDouble("budget", 30.0);
   const int checkpoints = static_cast<int>(flags.GetInt("checkpoints", 10));
+  const int query_threads =
+      static_cast<int>(flags.GetInt("query-threads", 0));
+  DDC_CHECK(query_threads >= 0);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const std::string out_dir = flags.GetString("out-dir", ".");
   std::filesystem::create_directories(out_dir);
@@ -178,6 +187,7 @@ int main(int argc, char** argv) {
       ddc::RunOptions options;
       options.num_checkpoints = checkpoints;
       options.time_budget_seconds = budget;
+      options.query_threads = query_threads;
       const ddc::RunStats stats =
           ddc::RunWorkload(*clusterer, workload, options);
 
@@ -228,13 +238,20 @@ int main(int argc, char** argv) {
       DDC_CHECK(out.good() && "write failed");
       ++written;
 
+      char readers[96] = "";
+      if (stats.query_threads > 0) {
+        std::snprintf(readers, sizeof(readers),
+                      " readers=%d qps=%.0f p99=%.1fus", stats.query_threads,
+                      stats.reader_queries_per_sec,
+                      stats.reader_query_latency_us.Quantile(0.99));
+      }
       std::printf(
-          "[done] %s  avg=%.2fus maxupd=%.1fus thru=%.0f ops/s%s -> %s\n",
+          "[done] %s  avg=%.2fus maxupd=%.1fus thru=%.0f ops/s%s%s -> %s\n",
           method.c_str(), stats.avg_workload_cost_us, stats.max_update_cost_us,
           stats.total_seconds > 0
               ? static_cast<double>(stats.ops_executed) / stats.total_seconds
               : 0,
-          stats.timed_out ? " [TIMEOUT]" : "", path.c_str());
+          readers, stats.timed_out ? " [TIMEOUT]" : "", path.c_str());
       std::fflush(stdout);
     }
   }
