@@ -13,6 +13,7 @@
 #include "connectivity/hdt.h"
 #include "core/emptiness.h"
 #include "counting/approx_counter.h"
+#include "geom/simd_kernels.h"
 #include "grid/grid.h"
 #include "unionfind/union_find.h"
 
@@ -299,6 +300,48 @@ void BM_Grid_RangeScan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Grid_RangeScan)->Arg(2)->Arg(3)->Arg(7);
+
+// --- Batch distance predicate: dispatched SIMD vs forced scalar -------------
+// The innermost kernel of every ε-range scan / emptiness probe / capped
+// count, on the packed per-cell layout: one query against n candidate rows.
+// _Dispatched runs whatever the CPUID dispatcher picked (see simd_kernels.h;
+// the per-run context line prints nothing about it, so compare against
+// ActiveSimdLevel() when reading results); _Scalar pins the portable loop.
+// items_processed = candidate rows, so the report's items/s is rows/s.
+
+void BatchFilterBody(benchmark::State& state, FilterWithinFn kernel) {
+  const int dim = static_cast<int>(state.range(0));
+  constexpr int kRows = 1024;
+  Rng rng(14);
+  Point q;
+  for (int i = 0; i < dim; ++i) q[i] = rng.NextDouble(0, 100.0);
+  std::vector<double> rows;
+  rows.reserve(static_cast<size_t>(kRows) * dim);
+  for (int j = 0; j < kRows; ++j) {
+    for (int i = 0; i < dim; ++i) {
+      rows.push_back(q[i] + rng.NextDouble(-60.0, 60.0));
+    }
+  }
+  // ~half the rows within range, like a dense ε-scan.
+  const double r_sq = 45.0 * 45.0 * dim;
+  uint8_t mask[kRows];
+  for (auto _ : state) {
+    kernel(q.data(), rows.data(), kRows, dim, r_sq, mask);
+    benchmark::DoNotOptimize(mask);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+
+void BM_BatchFilter_Dispatched(benchmark::State& state) {
+  BatchFilterBody(state, simd_internal::ActiveFilterKernel());
+}
+BENCHMARK(BM_BatchFilter_Dispatched)->Arg(2)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_BatchFilter_Scalar(benchmark::State& state) {
+  BatchFilterBody(state, FilterKernelForLevel(SimdLevel::kScalar));
+}
+BENCHMARK(BM_BatchFilter_Scalar)->Arg(2)->Arg(3)->Arg(5)->Arg(7);
 
 void BM_Grid_RangeScanIndirect(benchmark::State& state) {
   const int dim = static_cast<int>(state.range(0));

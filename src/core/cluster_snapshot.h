@@ -14,6 +14,7 @@
 #include "core/clusterer.h"
 #include "geom/box.h"
 #include "geom/point.h"
+#include "geom/simd_kernels.h"
 #include "grid/grid.h"
 
 namespace ddc {
@@ -126,14 +127,11 @@ class GridSnapshot final : public ClusterSnapshot {
       const double* m = member_coords_.data() +
                         static_cast<size_t>(r.members_begin) *
                             static_cast<size_t>(dim_);
-      bool hit = false;
-      for (int32_t i = r.members_begin; i < r.members_end; ++i, m += dim_) {
-        if (WithinSquaredPacked(p, m, dim_, eps_outer_sq_)) {
-          hit = true;
-          break;
-        }
+      // Batched membership test over the frozen packed core members.
+      if (!AnyWithinPacked(p, m, r.members_end - r.members_begin, dim_,
+                           eps_outer_sq_)) {
+        return;
       }
-      if (!hit) return;
       if (assigned.Insert(r.label)) fn(r.label);
     };
     consider(c);

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/flat_hash.h"
+#include "geom/simd_kernels.h"
 #include "grid/cell_key.h"
 #include "spatial/kd_tree.h"
 
@@ -92,14 +93,12 @@ class BruteForceEmptiness final : public EmptinessStructure {
     if (BoxMiss(&box_, has_box_, q, dim_, outer_sq_)) return kInvalidPoint;
     // Newest-first: any member within range is a valid proof, and recently
     // promoted members make longer-lived aBCP witnesses under FIFO churn
-    // (the oldest member is the next one to expire).
-    const size_t n = members_.size();
-    const double* coords = coords_.data() + n * dim_;
-    for (size_t i = n; i-- > 0;) {
-      coords -= dim_;
-      if (WithinSquaredPacked(q, coords, dim_, outer_sq_)) return members_[i];
-    }
-    return kInvalidPoint;
+    // (the oldest member is the next one to expire). The batched tail-first
+    // probe preserves that order.
+    const int i = FindLastWithinPacked(q, coords_.data(),
+                                       static_cast<int>(members_.size()),
+                                       dim_, outer_sq_);
+    return i >= 0 ? members_[i] : kInvalidPoint;
   }
 
   void ForEach(const std::function<void(PointId)>& fn) const override {

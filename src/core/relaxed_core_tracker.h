@@ -90,22 +90,30 @@ void RelaxedCoreTracker::OnInsert(PointId pid, CellId cell, Fn&& on_promote) {
   auto scan = [&](CellId c, bool same_cell) {
     const Cell& cc = grid_->cell(c);
     const bool now_dense = cc.size() >= params_.min_pts;
+    auto recheck = [&](PointId q) {
+      if (q == pid || is_core_[q]) return;
+      if (now_dense || QueryCore(q)) {
+        is_core_[q] = true;
+        promoted.emplace_back(q, c);
+      }
+    };
+    if (same_cell) {
+      // Same-cell points are within ε by the grid geometry: no filter.
+      for (const PointId q : cc.points) recheck(q);
+      return;
+    }
+    // Neighbor cells are always sparse here (< MinPts points), and most of
+    // their residents are skipped by the O(1) core-flag test — so the cheap
+    // checks run first and the (1+ρ)ε filter only on survivors. A batched
+    // filter-first scan would invert that selectivity for no vector win at
+    // these sizes (see kSimdSmallN in geom/simd_kernels.h).
     const double* coords = cc.coords.data();
     const size_t n = cc.points.size();
-    for (size_t i = 0; i < n; ++i, coords += dim) {
+    for (size_t i = 0; i < n; ++i) {
       const PointId q = cc.points[i];
       if (q == pid || is_core_[q]) continue;
-      if (now_dense) {
-        is_core_[q] = true;
-        promoted.emplace_back(q, c);
-        continue;
-      }
-      if (!same_cell && !WithinSquaredPacked(p, coords, dim, filter_sq_)) {
-        continue;
-      }
-      if (QueryCore(q)) {
-        is_core_[q] = true;
-        promoted.emplace_back(q, c);
+      if (WithinSquaredPacked(p, coords + i * dim, dim, filter_sq_)) {
+        recheck(q);
       }
     }
   };
@@ -134,17 +142,26 @@ void RelaxedCoreTracker::OnDelete(PointId deleted, CellId cell,
   const int dim = params_.dim;
   auto scan = [&](CellId c, bool same_cell) {
     const Cell& cc = grid_->cell(c);
-    const double* coords = cc.coords.data();
-    const size_t n = cc.points.size();
-    for (size_t i = 0; i < n; ++i, coords += dim) {
-      const PointId q = cc.points[i];
-      if (!is_core_[q]) continue;
-      if (!same_cell && !WithinSquaredPacked(p, coords, dim, filter_sq_)) {
-        continue;
-      }
+    auto recheck = [&](PointId q) {
+      if (!is_core_[q]) return;
       if (!QueryCore(q)) {
         is_core_[q] = false;
         demoted.emplace_back(q, c);
+      }
+    };
+    if (same_cell) {
+      for (const PointId q : cc.points) recheck(q);
+      return;
+    }
+    // Sparse neighbor cells, core-flag skip first — same rationale as
+    // OnInsert above.
+    const double* coords = cc.coords.data();
+    const size_t n = cc.points.size();
+    for (size_t i = 0; i < n; ++i) {
+      const PointId q = cc.points[i];
+      if (!is_core_[q]) continue;
+      if (WithinSquaredPacked(p, coords + i * dim, dim, filter_sq_)) {
+        recheck(q);
       }
     }
   };

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "core/params.h"
 #include "geom/point.h"
+#include "geom/simd_kernels.h"
 #include "grid/grid.h"
 
 namespace ddc {
@@ -70,27 +71,29 @@ void VicinityTracker::OnInsert(PointId pid, CellId cell, Fn&& on_core) {
 
   // Pass 1 — sparse cells (own + ε-close): update neighbor vicinity counts
   // and accumulate the new point's count. Same-cell points are within ε by
-  // the grid geometry (side ε/√d, half-open cells), no distance test needed.
-  // The distance tests stream the cell's packed coordinates.
+  // the grid geometry (side ε/√d, half-open cells), no distance test needed;
+  // neighbor cells go through the batched predicate over their packed
+  // coordinates.
   const int dim = params_.dim;
-  auto scan_sparse = [&](CellId c, bool same_cell) {
-    const Cell& cc = grid_->cell(c);
-    const double* coords = cc.coords.data();
-    const size_t n = cc.points.size();
-    for (size_t i = 0; i < n; ++i, coords += dim) {
-      const PointId q = cc.points[i];
-      if (q == pid) continue;
-      if (!same_cell && !WithinSquaredPacked(p, coords, dim, eps_sq_)) {
-        continue;
-      }
-      ++vincnt_[pid];
-      if (!is_core_[q]) {
-        if (++vincnt_[q] >= min_pts) {
-          is_core_[q] = true;
-          promoted.emplace_back(q, c);
-        }
+  auto bump = [&](PointId q, CellId c) {
+    ++vincnt_[pid];
+    if (!is_core_[q]) {
+      if (++vincnt_[q] >= min_pts) {
+        is_core_[q] = true;
+        promoted.emplace_back(q, c);
       }
     }
+  };
+  auto scan_sparse = [&](CellId c, bool same_cell) {
+    const Cell& cc = grid_->cell(c);
+    if (same_cell) {
+      for (const PointId q : cc.points) {
+        if (q != pid) bump(q, c);
+      }
+      return;
+    }
+    ForEachWithinPacked(p, cc.coords.data(), cc.points.size(), dim, eps_sq_,
+                        [&](size_t i) { bump(cc.points[i], c); });
   };
 
   const Cell& own = grid_->cell(cell);
@@ -120,13 +123,9 @@ void VicinityTracker::OnInsert(PointId pid, CellId cell, Fn&& on_core) {
   if (!self_core && vincnt_[pid] < min_pts) {
     for (const CellId nb : dense_neighbors) {
       const Cell& nbc = grid_->cell(nb);
-      const double* coords = nbc.coords.data();
-      const size_t n = nbc.points.size();
-      for (size_t i = 0; i < n; ++i, coords += dim) {
-        if (WithinSquaredPacked(p, coords, dim, eps_sq_)) {
-          if (++vincnt_[pid] >= min_pts) break;
-        }
-      }
+      vincnt_[pid] += CountWithinPacked(p, nbc.coords.data(),
+                                        static_cast<int>(nbc.points.size()),
+                                        dim, eps_sq_, min_pts - vincnt_[pid]);
       if (vincnt_[pid] >= min_pts) break;
     }
   }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "geom/simd_kernels.h"
 
 namespace ddc {
 
@@ -92,12 +93,10 @@ int ApproxRangeCounter::ExactCount(const Point& q, CellId home,
       box_sq += d * d;
     }
     if (box_sq > eps_sq_ * (1 + kBoxPrefilterSlack)) return;
-    const double* coords = grid_->cell(c).coords.data();
-    for (int i = 0; i < n; ++i, coords += dim) {
-      if (WithinSquaredPacked(q, coords, dim, eps_sq_)) {
-        if (++count >= cap) return;
-      }
-    }
+    // Batched capped count over the cell's packed coordinates; identical to
+    // the scalar count-with-early-exit (both clamp at cap).
+    count += CountWithinPacked(q, grid_->cell(c).coords.data(), n, dim,
+                               eps_sq_, cap - count);
   };
   if (home != kInvalidCell) {
     grid_->ForEachNearbyCellOfTagged(home, visit);

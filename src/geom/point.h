@@ -106,6 +106,18 @@ inline bool WithinSquaredPacked(const Point& a, const double* b, int dim,
   return true;
 }
 
+/// True when every coordinate of `p` at index >= `dim` is exactly zero —
+/// the padding invariant the Point class documents. The non-const
+/// `operator[]` cannot enforce it (callers may legitimately stage
+/// coordinates in any order), so the insert paths DDC_DCHECK this instead;
+/// kernels that read fixed-width lanes rely on it.
+inline bool PaddingIsZero(const Point& p, int dim) {
+  for (int i = dim; i < kMaxDim; ++i) {
+    if (p[i] != 0) return false;
+  }
+  return true;
+}
+
 /// Euclidean distance over the first `dim` coordinates.
 inline double Distance(const Point& a, const Point& b, int dim) {
   return std::sqrt(SquaredDistance(a, b, dim));

@@ -1,0 +1,233 @@
+#ifndef DDC_GEOM_SIMD_KERNELS_H_
+#define DDC_GEOM_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geom/point.h"
+
+namespace ddc {
+
+/// \file
+/// Batched distance predicates over the packed per-cell coordinate layout
+/// (see Cell::coords): one query point tested against `n` candidates stored
+/// as contiguous `dim`-double rows. The batch kernel is selected once at
+/// startup by runtime CPU dispatch — AVX-512 where the host has it, else
+/// AVX2, else the scalar loop — and every variant is *verdict-identical* to
+/// `WithinSquaredPacked`:
+///
+///   * lanes run across points, never across dimensions, so each candidate
+///     accumulates its per-dimension terms in the same sequential `i` order
+///     as the scalar kernel;
+///   * the vector kernels use separate multiply and add (no FMA contraction),
+///     so each lane executes bit-for-bit the scalar op sequence; and
+///   * the scalar early exit does not change the verdict (partial sums are
+///     monotone under IEEE rounding — the argument documented in point.h),
+///     so comparing the full sum in the vector lanes agrees exactly.
+///
+/// rho = 0 conformance (verbatim equality with the exact oracle) depends on
+/// this parity; tests/simd_kernels_test.cc fuzzes it differentially.
+///
+/// Setting DDC_FORCE_SCALAR=1 in the environment pins the scalar fallback
+/// (checked once, at first use).
+
+/// Signature of the batch verdict kernel: writes `out_mask[j] = 1` iff
+/// dist(q, coords + j*dim)² <= r_sq for j in [0, n), 0 otherwise.
+using FilterWithinFn = void (*)(const double* q, const double* coords, int n,
+                                int dim, double r_sq, uint8_t* out_mask);
+
+/// Instruction-set tiers the dispatcher can pick from.
+enum class SimdLevel {
+  kScalar = 0,  ///< Portable loop; always available.
+  kAvx2 = 1,    ///< 4 candidates per iteration (256-bit doubles).
+  kAvx512 = 2,  ///< 8 candidates per iteration (512-bit doubles).
+};
+
+/// Human-readable level name ("scalar", "avx2", "avx512").
+const char* SimdLevelName(SimdLevel level);
+
+/// The kernel compiled for `level`, or nullptr when this build or the host
+/// CPU cannot run it. kScalar never returns nullptr. Exposed so tests can
+/// cross-check every runnable variant regardless of which one dispatch
+/// picked.
+FilterWithinFn FilterKernelForLevel(SimdLevel level);
+
+/// The tier the runtime dispatcher selected (highest supported level, or
+/// kScalar when DDC_FORCE_SCALAR is set). Resolved once per process.
+SimdLevel ActiveSimdLevel();
+
+namespace simd_internal {
+
+/// Uncached resolution (re-reads the environment); ActiveSimdLevel caches
+/// its first result. Split out so tests can exercise the knob logic without
+/// forking.
+SimdLevel ResolveSimdLevel();
+
+/// The dispatched kernel, resolved on first use.
+inline FilterWithinFn ActiveFilterKernel() {
+  static const FilterWithinFn kernel = FilterKernelForLevel(ActiveSimdLevel());
+  return kernel;
+}
+
+}  // namespace simd_internal
+
+/// Batched WithinSquaredPacked: `out_mask[j]` = the verdict for the `dim`
+/// doubles at `coords + j*dim`, for j in [0, n). Verdicts are bit-identical
+/// to the scalar kernel (see file comment).
+inline void FilterWithinPacked(const Point& q, const double* coords, int n,
+                               int dim, double r_sq, uint8_t* out_mask) {
+  simd_internal::ActiveFilterKernel()(q.data(), coords, n, dim, r_sq,
+                                      out_mask);
+}
+
+/// Chunk size of the mask-buffered helpers below: big enough to amortize the
+/// dispatch indirection and keep the vector units streaming, small enough
+/// for a stack buffer.
+inline constexpr int kSimdFilterChunk = 256;
+
+/// Below this many candidates the helpers skip the dispatched kernel and run
+/// the inlined scalar predicate directly: an eps-grid cell often holds only a
+/// handful of points, and for those the function-pointer call plus the
+/// mask-then-scan second pass cost more than the whole scan. Verdicts are
+/// unaffected — the fast path *is* the scalar kernel.
+inline constexpr int kSimdSmallN = 16;
+
+/// Invokes `fn(j)` for every candidate j in [0, n) within √r_sq of `q`, in
+/// ascending j order — the batched drop-in for the scalar
+/// filter-as-you-scan loops over a cell's packed coordinates.
+template <typename Fn>
+void ForEachWithinPacked(const Point& q, const double* coords, size_t n,
+                         int dim, double r_sq, Fn&& fn) {
+  if (n < static_cast<size_t>(kSimdSmallN)) {
+    for (size_t j = 0; j < n; ++j) {
+      if (WithinSquaredPacked(q, coords + j * static_cast<size_t>(dim), dim,
+                              r_sq)) {
+        fn(j);
+      }
+    }
+    return;
+  }
+  const FilterWithinFn kernel = simd_internal::ActiveFilterKernel();
+  uint8_t mask[kSimdFilterChunk];
+  for (size_t base = 0; base < n; base += kSimdFilterChunk) {
+    const int m = n - base < static_cast<size_t>(kSimdFilterChunk)
+                      ? static_cast<int>(n - base)
+                      : kSimdFilterChunk;
+    kernel(q.data(), coords + base * static_cast<size_t>(dim), m, dim, r_sq,
+           mask);
+    for (int j = 0; j < m; ++j) {
+      if (mask[j]) fn(base + static_cast<size_t>(j));
+    }
+  }
+}
+
+/// Number of candidates within √r_sq of `q`, truncated at `cap` (a result of
+/// `cap` means "at least cap") — the batched form of the capped counting
+/// loops. `cap` <= 0 returns 0.
+inline int CountWithinPacked(const Point& q, const double* coords, int n,
+                             int dim, double r_sq, int cap) {
+  if (cap <= 0) return 0;
+  // Two scalar-early-exit cases: tiny candidate sets (kSimdSmallN, as in the
+  // other helpers), and tight caps over dense cells — a capped count with
+  // cap ≈ MinPts usually saturates within the first ~cap candidates, and
+  // that early exit beats even a vector kernel that must finish its chunk
+  // (measured on the double-approx ExactCount hot path).
+  if (n < kSimdSmallN || cap <= 32) {
+    int count = 0;
+    for (int j = 0; j < n; ++j) {
+      if (WithinSquaredPacked(q, coords + static_cast<size_t>(j) * dim, dim,
+                              r_sq)) {
+        if (++count >= cap) return cap;
+      }
+    }
+    return count;
+  }
+  const FilterWithinFn kernel = simd_internal::ActiveFilterKernel();
+  uint8_t mask[kSimdFilterChunk];
+  int count = 0;
+  // Graduated chunks: bounded overshoot when the cap bites early, full
+  // streaming when it doesn't.
+  int chunk = 32;
+  for (int base = 0; base < n; base += chunk, chunk = chunk < kSimdFilterChunk
+                                                          ? chunk * 2
+                                                          : kSimdFilterChunk) {
+    const int m = n - base < chunk ? n - base : chunk;
+    kernel(q.data(), coords + static_cast<size_t>(base) * dim, m, dim, r_sq,
+           mask);
+    for (int j = 0; j < m; ++j) count += mask[j];
+    if (count >= cap) return cap;
+  }
+  return count;
+}
+
+/// Highest candidate index within √r_sq of `q`, or -1 — the batched form of
+/// the newest-first emptiness witness probe. Scans blockwise from the tail
+/// (small blocks: witness probes that hit usually hit within the newest few
+/// members, while all-miss probes stream the whole array through the vector
+/// units anyway).
+inline int FindLastWithinPacked(const Point& q, const double* coords, int n,
+                                int dim, double r_sq) {
+  if (n < kSimdSmallN) {
+    for (int j = n; j-- > 0;) {
+      if (WithinSquaredPacked(q, coords + static_cast<size_t>(j) * dim, dim,
+                              r_sq)) {
+        return j;
+      }
+    }
+    return -1;
+  }
+  const FilterWithinFn kernel = simd_internal::ActiveFilterKernel();
+  uint8_t mask[kSimdFilterChunk];
+  // Graduated tail-first blocks: witness probes that hit usually hit within
+  // the newest few members, so probe small first and double outward; all-miss
+  // probes still stream the whole array through the vector units.
+  int chunk = 8;
+  int end = n;
+  while (end > 0) {
+    const int m = end < chunk ? end : chunk;
+    const int base = end - m;
+    chunk = chunk < kSimdFilterChunk ? chunk * 2 : kSimdFilterChunk;
+    kernel(q.data(), coords + static_cast<size_t>(base) * dim, m, dim, r_sq,
+           mask);
+    for (int j = m; j-- > 0;) {
+      if (mask[j]) return base + j;
+    }
+    end = base;
+  }
+  return -1;
+}
+
+/// True when any candidate is within √r_sq of `q` — the batched emptiness
+/// membership test (hit/miss only, no witness index needed).
+inline bool AnyWithinPacked(const Point& q, const double* coords, int n,
+                            int dim, double r_sq) {
+  if (n < kSimdSmallN) {
+    for (int j = 0; j < n; ++j) {
+      if (WithinSquaredPacked(q, coords + static_cast<size_t>(j) * dim, dim,
+                              r_sq)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  const FilterWithinFn kernel = simd_internal::ActiveFilterKernel();
+  uint8_t mask[kSimdFilterChunk];
+  // Graduated chunks, same rationale as CountWithinPacked: membership hits
+  // tend to land early, misses stream the whole array regardless.
+  int chunk = 32;
+  for (int base = 0; base < n; base += chunk, chunk = chunk < kSimdFilterChunk
+                                                          ? chunk * 2
+                                                          : kSimdFilterChunk) {
+    const int m = n - base < chunk ? n - base : chunk;
+    kernel(q.data(), coords + static_cast<size_t>(base) * dim, m, dim, r_sq,
+           mask);
+    for (int j = 0; j < m; ++j) {
+      if (mask[j]) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ddc
+
+#endif  // DDC_GEOM_SIMD_KERNELS_H_

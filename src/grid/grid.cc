@@ -48,6 +48,9 @@ void Grid::LinkNeighbors(CellId a, CellId b) {
 }
 
 Grid::InsertResult Grid::Insert(const Point& p) {
+  // Unused coordinates must be zero (the Point padding invariant): poisoned
+  // padding would corrupt cell keys, packed mirrors, and equality tests.
+  DDC_DCHECK(PaddingIsZero(p, dim_));
   const PointId id = static_cast<PointId>(records_.size());
   const CellKey key = CellKey::Of(p, dim_, side_);
   bool created = false;

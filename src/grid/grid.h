@@ -7,6 +7,7 @@
 #include "common/flat_hash.h"
 #include "geom/box.h"
 #include "geom/point.h"
+#include "geom/simd_kernels.h"
 #include "grid/cell_key.h"
 #include "grid/neighbor_offsets.h"
 
@@ -252,11 +253,10 @@ void Grid::ForEachPointInRange(const Point& q, double r, Fn&& fn) const {
   const int dim = dim_;
   ForEachNearbyCell(q, [&](CellId c) {
     const Cell& cell = cells_[c];
-    const double* coords = cell.coords.data();
-    const size_t n = cell.points.size();
-    for (size_t i = 0; i < n; ++i, coords += dim) {
-      if (WithinSquaredPacked(q, coords, dim, r_sq)) fn(cell.points[i]);
-    }
+    // Batched predicate over the cell's packed coordinates (SIMD where the
+    // host supports it); verdicts are bit-identical to the scalar kernel.
+    ForEachWithinPacked(q, cell.coords.data(), cell.points.size(), dim, r_sq,
+                        [&](size_t i) { fn(cell.points[i]); });
   });
 }
 

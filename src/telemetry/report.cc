@@ -15,6 +15,17 @@ std::string CostCell(const RunStats& stats, double value) {
   return buf;
 }
 
+std::string SanitizeForFilename(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    const bool allowed = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                         (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                         c == '-';
+    if (!allowed) c = '-';
+  }
+  return out;
+}
+
 void PrintSeries(const std::string& title,
                  const std::vector<std::string>& method_names,
                  const std::vector<RunStats>& runs) {

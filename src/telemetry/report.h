@@ -21,6 +21,13 @@ namespace ddc {
 /// avoid colliding with the grid Cell type in unqualified ddc:: scope.
 std::string CostCell(const RunStats& stats, double value);
 
+/// Sanitizes a scenario/method spec for use in a BENCH filename: every
+/// character outside [A-Za-z0-9._-] becomes '-'. Whitelisting (rather than
+/// rewriting the known spec punctuation ':,=') keeps future knob values
+/// containing '/', ';', spaces, or shell metacharacters from producing
+/// broken or path-escaping filenames.
+std::string SanitizeForFilename(const std::string& text);
+
 /// Prints the per-checkpoint avgcost / maxupdcost series of several
 /// finished runs (one row per method), in the style of Figures 8/9/12/13.
 void PrintSeries(const std::string& title,

@@ -2,6 +2,7 @@
 
 #include "geom/box.h"
 #include "geom/point.h"
+#include "grid/grid.h"
 
 namespace ddc {
 namespace {
@@ -32,6 +33,34 @@ TEST(PointTest, ToString) {
   const Point p{1.5, -2};
   EXPECT_EQ(p.ToString(2), "(1.5, -2)");
 }
+
+TEST(PointTest, PaddingIsZero) {
+  Point p{1, 2};
+  EXPECT_TRUE(PaddingIsZero(p, 2));
+  EXPECT_TRUE(PaddingIsZero(p, kMaxDim));
+  p[5] = 0.25;  // Poison an unused dimension.
+  EXPECT_FALSE(PaddingIsZero(p, 2));
+  EXPECT_FALSE(PaddingIsZero(p, 5));
+  EXPECT_TRUE(PaddingIsZero(p, 6));  // The poisoned dim now counts as used.
+  p[5] = 0;
+  EXPECT_TRUE(PaddingIsZero(p, 2));
+  // -0.0 == 0.0: a negative zero does not violate the invariant.
+  p[7] = -0.0;
+  EXPECT_TRUE(PaddingIsZero(p, 2));
+}
+
+#ifndef NDEBUG
+TEST(PointPaddingDeathTest, GridInsertRejectsPoisonedPadding) {
+  // The documented "unused coordinates must be zero" contract is enforced on
+  // the insert path in debug builds: the non-const operator[] lets callers
+  // stage arbitrary coordinates, but a poisoned point must never enter a
+  // grid (cell keys, packed mirrors, and equality all assume the padding).
+  Point p{1, 2};
+  p[4] = 3.5;
+  Grid grid(2, 1.0);
+  EXPECT_DEATH(grid.Insert(p), "PaddingIsZero");
+}
+#endif
 
 TEST(BoxTest, Contains) {
   const Box box(Point{0, 0}, Point{1, 2});

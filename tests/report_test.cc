@@ -1,0 +1,41 @@
+#include "telemetry/report.h"
+
+#include <gtest/gtest.h>
+
+namespace ddc {
+namespace {
+
+TEST(SanitizeForFilenameTest, PassesWhitelistedCharactersThrough) {
+  EXPECT_EQ(SanitizeForFilename("paper-mixed"), "paper-mixed");
+  EXPECT_EQ(SanitizeForFilename("Double_Approx.v2-1"), "Double_Approx.v2-1");
+  EXPECT_EQ(SanitizeForFilename(""), "");
+}
+
+TEST(SanitizeForFilenameTest, RewritesSpecPunctuation) {
+  // The historical cases: spec grammar punctuation.
+  EXPECT_EQ(SanitizeForFilename("sharded-double-approx:shards=4,threads=4"),
+            "sharded-double-approx-shards-4-threads-4");
+}
+
+TEST(SanitizeForFilenameTest, RewritesPathAndShellCharacters) {
+  // Future knob values with path separators, spaces, or metacharacters must
+  // not escape the output directory or break globbing.
+  EXPECT_EQ(SanitizeForFilename("method:path=/etc/passwd"),
+            "method-path--etc-passwd");
+  EXPECT_EQ(SanitizeForFilename("a;b c|d*e?f"), "a-b-c-d-e-f");
+  EXPECT_EQ(SanitizeForFilename("up:dir=../../x"), "up-dir-..-..-x");
+  EXPECT_EQ(SanitizeForFilename("quo\"te'd`$(x)"), "quo-te-d---x-");
+  // Non-ASCII bytes are rewritten too.
+  EXPECT_EQ(SanitizeForFilename("caf\xc3\xa9"), "caf--");
+}
+
+TEST(SanitizeForFilenameTest, DotsAloneCannotEscapeADirectory) {
+  // ".." survives the whitelist but path separators never do, so the result
+  // is always a single path component.
+  const std::string s = SanitizeForFilename("../escape");
+  EXPECT_EQ(s.find('/'), std::string::npos);
+  EXPECT_EQ(s, "..-escape");
+}
+
+}  // namespace
+}  // namespace ddc

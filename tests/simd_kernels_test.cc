@@ -1,0 +1,196 @@
+// Kernel-equivalence regression suite: the scalar reference
+// (WithinSquared / WithinSquaredPacked), the dispatched batch kernel, and
+// every SIMD variant the host can run must return *identical* verdicts —
+// including at exact r_sq boundary ties — for the rho = 0 conformance
+// guarantee (verbatim equality with the exact oracle) to survive the SIMD
+// rewrite. Both the raw mask form and the wrapper forms (ForEach / Count /
+// FindLast / Any) are fuzzed differentially against the scalar kernels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "geom/point.h"
+#include "geom/simd_kernels.h"
+
+namespace ddc {
+namespace {
+
+/// Every level the host CPU (and this build) can actually run. Always
+/// contains kScalar; contains kAvx2/kAvx512 when dispatchable.
+std::vector<SimdLevel> RunnableLevels() {
+  std::vector<SimdLevel> levels;
+  for (const SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    if (FilterKernelForLevel(level) != nullptr) levels.push_back(level);
+  }
+  return levels;
+}
+
+/// A packed coordinate block of `n` rows of `dim` doubles around `q`, with
+/// distances spread across hit / miss / near-boundary.
+std::vector<double> RandomRows(Rng& rng, const Point& q, int n, int dim,
+                               double spread) {
+  std::vector<double> rows;
+  rows.reserve(static_cast<size_t>(n) * dim);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < dim; ++i) {
+      rows.push_back(q[i] + rng.NextDouble(-spread, spread));
+    }
+  }
+  return rows;
+}
+
+TEST(SimdKernelsTest, ScalarLevelAlwaysRunnable) {
+  ASSERT_NE(FilterKernelForLevel(SimdLevel::kScalar), nullptr);
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx512), "avx512");
+  // The dispatcher must have picked a runnable kernel.
+  EXPECT_NE(FilterKernelForLevel(ActiveSimdLevel()), nullptr);
+}
+
+TEST(SimdKernelsTest, ForceScalarKnobPinsScalar) {
+  // ResolveSimdLevel re-reads the environment on every call (the cached
+  // ActiveSimdLevel resolved long ago), so the knob logic is testable
+  // in-process.
+  setenv("DDC_FORCE_SCALAR", "1", /*overwrite=*/1);
+  EXPECT_EQ(simd_internal::ResolveSimdLevel(), SimdLevel::kScalar);
+  setenv("DDC_FORCE_SCALAR", "0", 1);
+  const SimdLevel unforced = simd_internal::ResolveSimdLevel();
+  unsetenv("DDC_FORCE_SCALAR");
+  EXPECT_EQ(simd_internal::ResolveSimdLevel(), unforced);
+  // Whatever the CPU offers, the unforced pick must be runnable.
+  EXPECT_NE(FilterKernelForLevel(unforced), nullptr);
+}
+
+TEST(SimdKernelsTest, MaskMatchesScalarKernelAcrossDims) {
+  Rng rng(20240801);
+  for (const SimdLevel level : RunnableLevels()) {
+    const FilterWithinFn kernel = FilterKernelForLevel(level);
+    for (int dim = 2; dim <= kMaxDim; ++dim) {
+      for (int trial = 0; trial < 50; ++trial) {
+        // Sizes straddle every lane boundary (4 and 8) and the chunk size.
+        const int n = static_cast<int>(rng.NextBelow(40));
+        Point q;
+        for (int i = 0; i < dim; ++i) q[i] = rng.NextDouble(-100, 100);
+        const std::vector<double> rows = RandomRows(rng, q, n, dim, 10.0);
+        const double r = rng.NextDouble(0, 20.0);
+        const double r_sq = r * r;
+
+        std::vector<uint8_t> mask(n + 1, 0xAB);
+        kernel(q.data(), rows.data(), n, dim, r_sq, mask.data());
+        for (int j = 0; j < n; ++j) {
+          EXPECT_EQ(mask[j] != 0,
+                    WithinSquaredPacked(q, rows.data() + j * dim, dim, r_sq))
+              << SimdLevelName(level) << " dim=" << dim << " j=" << j;
+          EXPECT_TRUE(mask[j] == 0 || mask[j] == 1);
+        }
+        EXPECT_EQ(mask[n], 0xAB);  // No overwrite past n.
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, ExactBoundaryTiesAgreeAcrossAllKernels) {
+  // r_sq == the exact accumulated squared distance (same summation order as
+  // every kernel lane) is a hit; one ulp below is a miss — for every
+  // runnable variant, at every lane position.
+  Rng rng(7);
+  for (int dim = 2; dim <= kMaxDim; ++dim) {
+    for (int trial = 0; trial < 30; ++trial) {
+      const int n = 1 + static_cast<int>(rng.NextBelow(20));
+      Point q;
+      for (int i = 0; i < dim; ++i) q[i] = rng.NextDouble(-50, 50);
+      const std::vector<double> rows = RandomRows(rng, q, n, dim, 5.0);
+      // Tie against a random row: every row at that exact distance must
+      // report "within" from every kernel.
+      const int tie = static_cast<int>(rng.NextBelow(n));
+      const double tie_sq =
+          SquaredDistancePacked(q, rows.data() + tie * dim, dim);
+      const double below_sq = std::nextafter(tie_sq, -1.0);
+      for (const SimdLevel level : RunnableLevels()) {
+        const FilterWithinFn kernel = FilterKernelForLevel(level);
+        std::vector<uint8_t> at_tie(n), below(n);
+        kernel(q.data(), rows.data(), n, dim, tie_sq, at_tie.data());
+        kernel(q.data(), rows.data(), n, dim, below_sq, below.data());
+        EXPECT_EQ(at_tie[tie], 1)
+            << SimdLevelName(level) << " dim=" << dim << ": exact tie missed";
+        for (int j = 0; j < n; ++j) {
+          EXPECT_EQ(at_tie[j] != 0, WithinSquaredPacked(q, rows.data() + j * dim,
+                                                        dim, tie_sq));
+          EXPECT_EQ(below[j] != 0, WithinSquaredPacked(
+                                       q, rows.data() + j * dim, dim, below_sq));
+        }
+      }
+      // Point-form and packed-form scalar kernels agree at the tie too.
+      Point tied;
+      for (int i = 0; i < dim; ++i) tied[i] = rows[tie * dim + i];
+      EXPECT_TRUE(WithinSquared(q, tied, dim, tie_sq));
+      EXPECT_EQ(SquaredDistance(q, tied, dim), tie_sq);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, DifferentialFuzzWrapperForms) {
+  // The wrapper entry points (ForEach / Count / FindLast / Any) run on the
+  // dispatched kernel; fuzz them against a scalar reference over randomized
+  // d in {2..8}, sizes crossing the chunk boundary, and caps.
+  Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int dim = 2 + static_cast<int>(rng.NextBelow(kMaxDim - 1));
+    const int n = static_cast<int>(rng.NextBelow(kSimdFilterChunk + 70));
+    Point q;
+    for (int i = 0; i < dim; ++i) q[i] = rng.NextDouble(-100, 100);
+    const std::vector<double> rows = RandomRows(rng, q, n, dim, 8.0);
+    const double r = rng.NextDouble(0, 16.0);
+    const double r_sq = r * r;
+
+    // Scalar reference.
+    std::vector<int> hits;
+    for (int j = 0; j < n; ++j) {
+      if (WithinSquaredPacked(q, rows.data() + j * dim, dim, r_sq)) {
+        hits.push_back(j);
+      }
+    }
+
+    std::vector<int> got;
+    ForEachWithinPacked(q, rows.data(), n, dim, r_sq,
+                        [&](size_t j) { got.push_back(static_cast<int>(j)); });
+    EXPECT_EQ(got, hits) << "dim=" << dim << " n=" << n;
+
+    const int total = static_cast<int>(hits.size());
+    for (const int cap : {0, 1, 3, total, total + 5, 1 << 28}) {
+      EXPECT_EQ(CountWithinPacked(q, rows.data(), n, dim, r_sq, cap),
+                std::min(total, std::max(cap, 0)))
+          << "dim=" << dim << " n=" << n << " cap=" << cap;
+    }
+
+    EXPECT_EQ(FindLastWithinPacked(q, rows.data(), n, dim, r_sq),
+              hits.empty() ? -1 : hits.back());
+    EXPECT_EQ(AnyWithinPacked(q, rows.data(), n, dim, r_sq), !hits.empty());
+  }
+}
+
+TEST(SimdKernelsTest, EmptyAndDegenerateInputs) {
+  Point q{1, 2};
+  const double rows[2] = {1, 2};
+  uint8_t mask = 0xCD;
+  for (const SimdLevel level : RunnableLevels()) {
+    FilterKernelForLevel(level)(q.data(), rows, 0, 2, 1.0, &mask);
+    EXPECT_EQ(mask, 0xCD) << SimdLevelName(level);
+  }
+  EXPECT_EQ(CountWithinPacked(q, rows, 0, 2, 1.0, 10), 0);
+  EXPECT_EQ(FindLastWithinPacked(q, rows, 0, 2, 1.0), -1);
+  EXPECT_FALSE(AnyWithinPacked(q, rows, 0, 2, 1.0));
+  // Zero radius: a coincident point is still a hit (<=).
+  EXPECT_TRUE(AnyWithinPacked(q, rows, 1, 2, 0.0));
+  EXPECT_EQ(FindLastWithinPacked(q, rows, 1, 2, 0.0), 0);
+}
+
+}  // namespace
+}  // namespace ddc

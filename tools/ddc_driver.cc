@@ -87,16 +87,6 @@ std::vector<std::string> SplitMethods(const std::string& text) {
   return methods;
 }
 
-// BENCH filenames key on (scenario, method spec); spec punctuation becomes
-// '-' so the file name stays shell- and glob-friendly.
-std::string SanitizeForFilename(const std::string& text) {
-  std::string out = text;
-  for (char& c : out) {
-    if (c == ':' || c == ',' || c == '=') c = '-';
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -219,8 +209,9 @@ int main(int argc, char** argv) {
         return 1;
       }
 
-      const std::string path = out_dir + "/BENCH_" + scenario + "_" +
-                               SanitizeForFilename(method) + ".json";
+      const std::string path = out_dir + "/BENCH_" +
+                               ddc::SanitizeForFilename(scenario) + "_" +
+                               ddc::SanitizeForFilename(method) + ".json";
       if (!written_paths.insert(path).second) {
         // Filenames key on (scenario, method) only; two specs of the same
         // scenario would silently clobber each other — refuse instead.
