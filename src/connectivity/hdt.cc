@@ -1,6 +1,7 @@
 #include "connectivity/hdt.h"
 
 #include "common/check.h"
+#include "telemetry/metrics.h"
 
 namespace ddc {
 
@@ -107,6 +108,8 @@ void HdtConnectivity::RemoveEdge(int u, int v) {
 }
 
 void HdtConnectivity::SearchReplacement(int u, int v, int level) {
+  DDC_COUNTER_INC("hdt.replacement_searches");
+  int64_t edges_pushed = 0;
   for (int i = level; i >= 0; --i) {
     EulerTourForest& f = Forest(i);
     // Work on the smaller side; call it the u-side.
@@ -127,6 +130,7 @@ void HdtConnectivity::SearchReplacement(int u, int v, int level) {
       e.level = i + 1;
       e.arcs.push_back(Forest(i + 1).Link(a, b));
       Forest(i + 1).SetArcFlag(e.arcs[i + 1].uv, true);
+      ++edges_pushed;
     }
 
     // 2. Scan non-tree level-i edges incident to the small tree: a neighbor
@@ -145,6 +149,8 @@ void HdtConnectivity::SearchReplacement(int u, int v, int level) {
         DDC_CHECK(replacement != nullptr);
         DDC_CHECK(!replacement->tree && replacement->level == i);
         LinkTree(x, y, i, replacement);
+        DDC_COUNTER_INC("hdt.replacements_found");
+        DDC_COUNTER_ADD("hdt.edges_pushed", edges_pushed);
         return;
       }
       // Both endpoints inside the small tree: push to level i+1.
@@ -153,9 +159,11 @@ void HdtConnectivity::SearchReplacement(int u, int v, int level) {
       pushed->level = i + 1;
       Forest(i + 1);  // Materialize before AddNontree touches its sets.
       AddNontree(i + 1, x, y);
+      ++edges_pushed;
     }
   }
   // No replacement at any level: the component stays split.
+  DDC_COUNTER_ADD("hdt.edges_pushed", edges_pushed);
 }
 
 bool HdtConnectivity::Connected(int u, int v) {

@@ -1,6 +1,7 @@
 #include "core/abcp.h"
 
 #include "common/check.h"
+#include "telemetry/metrics.h"
 
 namespace ddc {
 
@@ -34,6 +35,7 @@ bool AbcpInstance::Initialize(const Grid& grid, CellCoreState& s1,
 
 void AbcpInstance::Refill(const Grid& grid, CellCoreState& s1,
                           CellCoreState& s2) {
+  DDC_COUNTER_INC("abcp.witness_refills");
   while (!has_witness()) {
     if (cur1_ < s1.log.size()) {
       const PointId p = s1.log[cur1_++];
@@ -78,6 +80,9 @@ bool AbcpInstance::OnCoreRemove(const Grid& grid, CellCoreState& s1,
   w1_ = w2_ = kInvalidPoint;
   const PointId proof = gone_side.core_set->Query(grid.point(survivor));
   if (proof != kInvalidPoint) {
+    // One emptiness query repaired the pair without touching the de-list
+    // logs — the cheap path the appendix's amortization counts on.
+    DDC_COUNTER_INC("abcp.witness_repairs");
     w1_ = was_w1 ? proof : survivor;
     w2_ = was_w1 ? survivor : proof;
     return true;

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace ddc {
 
 // The legacy single-threaded entry point: every query is answered from a
@@ -13,6 +16,8 @@ CGroupByResult Clusterer::Query(const std::vector<PointId>& q) {
 
 std::shared_ptr<const GridSnapshot> GridSnapshot::Build(
     const Sources& sources, double eps_outer, uint64_t epoch) {
+  DDC_TRACE_SPAN("core.snapshot_build");
+  DDC_COUNTER_INC("core.snapshot_builds");
   DDC_CHECK(sources.grid != nullptr && sources.is_core != nullptr &&
             sources.cell_label != nullptr);
   const Grid& grid = *sources.grid;

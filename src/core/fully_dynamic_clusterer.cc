@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "core/cluster_query.h"
+#include "telemetry/metrics.h"
 
 namespace ddc {
 
@@ -103,6 +104,7 @@ void FullyDynamicClusterer::DestroyInstance(CellId a, CellId b,
 }
 
 void FullyDynamicClusterer::OnCorePromoted(PointId p, CellId cell) {
+  DDC_COUNTER_INC("core.promotions");
   if (core_observer_) core_observer_(p, true);
   CellCoreState& s = State(cell);
   const bool was_core_cell = s.is_core_cell();
@@ -132,6 +134,7 @@ void FullyDynamicClusterer::OnCorePromoted(PointId p, CellId cell) {
 }
 
 void FullyDynamicClusterer::OnCoreDemoted(PointId p, CellId cell) {
+  DDC_COUNTER_INC("core.demotions");
   if (core_observer_) core_observer_(p, false);
   CellCoreState& s = State(cell);
   s.core_set->Remove(p);

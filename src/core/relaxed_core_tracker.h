@@ -9,6 +9,7 @@
 #include "counting/approx_counter.h"
 #include "geom/point.h"
 #include "grid/grid.h"
+#include "telemetry/metrics.h"
 
 namespace ddc {
 
@@ -72,11 +73,24 @@ void RelaxedCoreTracker::OnInsert(PointId pid, CellId cell, Fn&& on_promote) {
   std::vector<std::pair<PointId, CellId>>& promoted = scratch_;
   promoted.clear();
 
+  // Cascade accounting, flushed once per update: every candidate either
+  // re-queried the counter (requeries) or was skipped by the (1+ρ)ε
+  // distance filter (prune_skips). Dense-cell and core-flag skips are free
+  // and not counted — the interesting ratio is filter vs. counter.
+  int64_t requeries = 0;
+  int64_t prune_skips = 0;
+
   // The new point itself: dense own cell => core outright.
   const Cell& own = grid_->cell(cell);
-  if (own.size() >= params_.min_pts || QueryCore(pid)) {
+  if (own.size() >= params_.min_pts) {
     is_core_[pid] = true;
     promoted.emplace_back(pid, cell);
+  } else {
+    ++requeries;
+    if (QueryCore(pid)) {
+      is_core_[pid] = true;
+      promoted.emplace_back(pid, cell);
+    }
   }
 
   // Insertions can only promote. Candidates live in sparse ε-close cells —
@@ -92,6 +106,7 @@ void RelaxedCoreTracker::OnInsert(PointId pid, CellId cell, Fn&& on_promote) {
     const bool now_dense = cc.size() >= params_.min_pts;
     auto recheck = [&](PointId q) {
       if (q == pid || is_core_[q]) return;
+      if (!now_dense) ++requeries;
       if (now_dense || QueryCore(q)) {
         is_core_[q] = true;
         promoted.emplace_back(q, c);
@@ -114,6 +129,8 @@ void RelaxedCoreTracker::OnInsert(PointId pid, CellId cell, Fn&& on_promote) {
       if (q == pid || is_core_[q]) continue;
       if (WithinSquaredPacked(p, coords + i * dim, dim, filter_sq_)) {
         recheck(q);
+      } else {
+        ++prune_skips;
       }
     }
   };
@@ -125,6 +142,8 @@ void RelaxedCoreTracker::OnInsert(PointId pid, CellId cell, Fn&& on_promote) {
       scan(nb, /*same_cell=*/false);
     }
   }
+  DDC_COUNTER_ADD("core.requeries", requeries);
+  DDC_COUNTER_ADD("core.prune_skips", prune_skips);
 
   for (const auto& [q, c] : promoted) on_promote(q, c);
 }
@@ -135,6 +154,10 @@ void RelaxedCoreTracker::OnDelete(PointId deleted, CellId cell,
   std::vector<std::pair<PointId, CellId>>& demoted = scratch_;
   demoted.clear();
 
+  // Cascade accounting, mirroring OnInsert.
+  int64_t requeries = 0;
+  int64_t prune_skips = 0;
+
   // Deletions can only demote, and only points in cells that are sparse now
   // (a still-dense cell keeps its residents definitely core) whose ε-ball
   // could actually have lost the departed point — the distance filter again.
@@ -144,6 +167,7 @@ void RelaxedCoreTracker::OnDelete(PointId deleted, CellId cell,
     const Cell& cc = grid_->cell(c);
     auto recheck = [&](PointId q) {
       if (!is_core_[q]) return;
+      ++requeries;
       if (!QueryCore(q)) {
         is_core_[q] = false;
         demoted.emplace_back(q, c);
@@ -162,6 +186,8 @@ void RelaxedCoreTracker::OnDelete(PointId deleted, CellId cell,
       if (!is_core_[q]) continue;
       if (WithinSquaredPacked(p, coords + i * dim, dim, filter_sq_)) {
         recheck(q);
+      } else {
+        ++prune_skips;
       }
     }
   };
@@ -175,6 +201,8 @@ void RelaxedCoreTracker::OnDelete(PointId deleted, CellId cell,
       scan(nb, /*same_cell=*/false);
     }
   }
+  DDC_COUNTER_ADD("core.requeries", requeries);
+  DDC_COUNTER_ADD("core.prune_skips", prune_skips);
 
   for (const auto& [q, c] : demoted) on_demote(q, c);
 }

@@ -1,9 +1,13 @@
 #include "engine/sharded_clusterer.h"
 
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <utility>
 
 #include "common/check.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace ddc {
 
@@ -40,11 +44,43 @@ ShardedClusterer::ShardedClusterer(const DbscanParams& params,
     shards_.push_back(std::move(shard));
   }
   pool_ = std::make_unique<ThreadPool>(options_.threads);
+
+  if (options_.watchdog_deadline_ms > 0) {
+    // One label per worker naming the shards pinned to it, so a stall
+    // report points at the data, not just the thread.
+    std::vector<const WorkerHealth*> health;
+    std::vector<std::string> labels(options_.threads);
+    for (int w = 0; w < options_.threads; ++w) {
+      health.push_back(&pool_->health(w));
+      std::string shard_list;
+      for (int s = w; s < options_.shards; s += options_.threads) {
+        if (!shard_list.empty()) shard_list += ",";
+        shard_list += std::to_string(s);
+      }
+      labels[w] = "shard=" + shard_list;
+    }
+    Watchdog::Options wd;
+    wd.deadline_ms = options_.watchdog_deadline_ms;
+    watchdog_ = std::make_unique<Watchdog>(
+        std::move(health), std::move(labels), wd,
+        [this](const Watchdog::Stall& stall) {
+          std::fprintf(stderr,
+                       "[ddc watchdog] worker %d (%s) quiet %.1fs with %lld "
+                       "batch(es) queued; %llu tasks done, epoch %" PRIu64
+                       "\n",
+                       stall.worker, stall.label.c_str(), stall.quiet_seconds,
+                       static_cast<long long>(stall.queue_depth),
+                       static_cast<unsigned long long>(stall.tasks_completed),
+                       epoch());
+        });
+  }
 }
 
 ShardedClusterer::~ShardedClusterer() {
-  // Stop the workers before any shard state they touch goes away. The pool
+  // The watchdog reads worker health cells, so it goes first; then stop the
+  // workers before any shard state they touch goes away. The pool
   // destructor runs every queued batch first.
+  watchdog_.reset();
   pool_.reset();
 }
 
@@ -121,6 +157,8 @@ void ShardedClusterer::PublishShard(Shard& shard) {
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.pending.push_back(std::move(shard.open));
+    const int64_t depth = static_cast<int64_t>(shard.pending.size());
+    if (depth > shard.queue_hwm) shard.queue_hwm = depth;
   }
   shard.open.clear();
   pool_->Submit(shard.worker, [this, s = &shard] { ProcessShard(s); });
@@ -137,6 +175,7 @@ void ShardedClusterer::ProcessShard(Shard* shard) {
       batch = std::move(shard->pending.front());
       shard->pending.erase(shard->pending.begin());
     }
+    DDC_TRACE_SPAN("engine.shard_batch");
     const auto t0 = std::chrono::steady_clock::now();
     for (const Op& op : batch) ApplyOp(*shard, op);
     shard->busy_seconds +=
@@ -172,6 +211,7 @@ void ShardedClusterer::ApplyOp(Shard& shard, const Op& op) {
 }
 
 void ShardedClusterer::FinishWarmup() {
+  DDC_TRACE_SPAN("engine.warmup_replay");
   std::vector<Point> sample;
   sample.reserve(warmup_buffer_.size());
   for (const Op& op : warmup_buffer_) {
@@ -193,6 +233,7 @@ void ShardedClusterer::FinishWarmup() {
 }
 
 void ShardedClusterer::Flush() {
+  DDC_TRACE_SPAN("engine.flush");
   if (!map_.initialized()) FinishWarmup();
   for (auto& shard : shards_) PublishShard(*shard);
   pool_->Drain();
@@ -220,11 +261,13 @@ void ShardedClusterer::Flush() {
     // applied batch invalidates the previous epoch's label table. The new
     // table goes into a fresh object — snapshots of older epochs keep
     // resolving against theirs.
+    DDC_TRACE_SPAN("engine.stitch_rebuild");
+    DDC_COUNTER_INC("engine.stitch_rebuilds");
     stitcher_.Rebuild(
         [this](PointId gid, std::vector<BoundaryStitcher::LabelKey>* out) {
           LabelsOf(gid, out);
         });
-    ++epoch_;
+    epoch_.fetch_add(1, std::memory_order_relaxed);
   }
   if (dirty || published_.Load() == nullptr) {
     PublishSnapshot();
@@ -232,6 +275,8 @@ void ShardedClusterer::Flush() {
 }
 
 void ShardedClusterer::PublishSnapshot() {
+  DDC_TRACE_SPAN("engine.publish_snapshot");
+  DDC_COUNTER_INC("engine.snapshot_publications");
   // Workers are quiescent (post-drain): freeze each shard's query state —
   // the per-shard snapshot caches make this cheap for shards that applied
   // nothing since their last freeze — plus this epoch's stitch table and
@@ -252,7 +297,7 @@ void ShardedClusterer::PublishSnapshot() {
                                         rec.last_holder, rec.alive};
   }
   published_.Store(std::make_shared<const ShardedSnapshot>(
-      epoch_, std::move(recs), alive_, std::move(shard_snaps),
+      epoch(), std::move(recs), alive_, std::move(shard_snaps),
       std::move(local_of), stitcher_.table()));
 }
 
@@ -298,24 +343,33 @@ std::vector<PointId> ShardedClusterer::AlivePoints() const {
   return ids;
 }
 
-std::vector<ShardOccupancy> ShardedClusterer::ShardTelemetry() {
+std::string ShardedClusterer::ShardMetricName(int shard, const char* field) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "engine.shard.%02d.%s", shard, field);
+  return std::string(buf);
+}
+
+void ShardedClusterer::PublishShardMetrics() {
   Flush();
-  std::vector<ShardOccupancy> out;
-  out.reserve(shards_.size());
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  auto set = [&](int shard, const char* field, int64_t value) {
+    registry.GetOrCreate(ShardMetricName(shard, field), MetricKind::kGauge)
+        .Set(value);
+  };
   for (const auto& shard : shards_) {
-    ShardOccupancy s;
-    s.shard = shard->index;
-    s.worker = shard->worker;
-    s.owned = shard->owned_alive;
-    s.ghosts = shard->ghost_alive;
-    s.core = shard->core_count;
-    s.boundary_core = stitcher_.boundary_count(shard->index);
-    s.ops_applied = shard->ops_applied;
-    s.batches = shard->batches_applied;
-    s.busy_seconds = shard->busy_seconds;
-    out.push_back(s);
+    const int i = shard->index;
+    set(i, "worker", shard->worker);
+    set(i, "owned", shard->owned_alive);
+    set(i, "ghosts", shard->ghost_alive);
+    set(i, "core", shard->core_count);
+    set(i, "boundary_core", stitcher_.boundary_count(i));
+    set(i, "ops_applied", shard->ops_applied);
+    set(i, "batches", shard->batches_applied);
+    set(i, "busy_us", static_cast<int64_t>(shard->busy_seconds * 1e6));
+    set(i, "queue_hwm", shard->queue_hwm);
   }
-  return out;
+  DDC_GAUGE_SET("engine.shards", static_cast<int64_t>(shards_.size()));
+  DDC_GAUGE_SET("engine.epoch", static_cast<int64_t>(epoch()));
 }
 
 }  // namespace ddc

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/flat_hash.h"
@@ -15,7 +16,7 @@
 #include "engine/sharded_snapshot.h"
 #include "engine/stitch.h"
 #include "engine/thread_pool.h"
-#include "telemetry/shard_stats.h"
+#include "telemetry/watchdog.h"
 
 namespace ddc {
 
@@ -66,6 +67,10 @@ class ShardedClusterer : public Clusterer {
     /// Inserts buffered before the slab partition is fixed from their
     /// spread. 0 fixes the partition at the first update.
     int warmup = 2048;
+    /// Heartbeat watchdog deadline: a worker quiet this long with batches
+    /// queued is reported as stalled (stderr + "watchdog.stalls" counter).
+    /// 0 disables the monitor thread.
+    int64_t watchdog_deadline_ms = 2000;
     /// Structure stack of the per-shard clusterers.
     FullyDynamicClusterer::Options inner;
   };
@@ -108,12 +113,19 @@ class ShardedClusterer : public Clusterer {
   /// True when some cluster contains both points. Implies Flush.
   bool SameCluster(PointId a, PointId b);
 
-  /// Monotone counter bumped by every stitch rebuild (ingest thread).
-  uint64_t epoch() const { return epoch_; }
+  /// Monotone counter bumped by every stitch rebuild (written by the ingest
+  /// thread, readable from any thread — e.g. the watchdog monitor).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
-  /// Per-shard occupancy/load snapshot. Implies Flush (const_cast-free
-  /// callers should Flush first themselves).
-  std::vector<ShardOccupancy> ShardTelemetry();
+  /// Publishes per-shard occupancy/load gauges into the process metrics
+  /// registry under ShardMetricName(shard, field) — owned, ghosts, core,
+  /// boundary_core, ops_applied, batches, busy_us, queue_hwm, worker — plus
+  /// the engine.shards count and engine.epoch gauges. Implies Flush.
+  void PublishShardMetrics();
+
+  /// Registry name of one per-shard gauge: "engine.shard.NN.<field>"
+  /// (zero-padded so registry iteration orders shards numerically).
+  static std::string ShardMetricName(int shard, const char* field);
 
   const ShardMap& shard_map() const { return map_; }
   int64_t num_boundary_points() const { return stitcher_.num_points(); }
@@ -146,9 +158,11 @@ class ShardedClusterer : public Clusterer {
     // Ingest side (caller thread only).
     std::vector<Op> open;
 
-    // The MPSC batch queue.
+    // The MPSC batch queue. queue_hwm is the deepest `pending` has ever
+    // been, sampled at publish time (ingest thread, under mu).
     std::mutex mu;
     std::vector<std::vector<Op>> pending;
+    int64_t queue_hwm = 0;
 
     // Worker-side state. Safe for the caller to read after ThreadPool::
     // Drain(), which establishes the happens-before edge.
@@ -193,6 +207,8 @@ class ShardedClusterer : public Clusterer {
   ShardMap map_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Heartbeat monitor over the pool workers; destroyed before the pool.
+  std::unique_ptr<Watchdog> watchdog_;
 
   std::vector<PointRec> points_;
   int64_t alive_ = 0;
@@ -202,7 +218,7 @@ class ShardedClusterer : public Clusterer {
   int64_t warmup_inserts_ = 0;
 
   BoundaryStitcher stitcher_;
-  uint64_t epoch_ = 0;
+  std::atomic<uint64_t> epoch_{0};
 
   /// The read side: the latest composed epoch, swapped in by
   /// PublishSnapshot and loaded by readers (see SharedPtrSlot). Replaces

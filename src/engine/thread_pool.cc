@@ -11,6 +11,9 @@ ThreadPool::ThreadPool(int num_workers) {
   workers_.reserve(num_workers);
   for (int i = 0; i < num_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>());
+    // A worker that has never run a task is "recently alive" from creation,
+    // so a watchdog deadline counts from here, not from the epoch.
+    workers_.back()->health.Beat();
   }
   // Threads start only after the vector is fully built, so Run never sees a
   // partially constructed pool.
@@ -37,6 +40,7 @@ void ThreadPool::Submit(int worker, std::function<void()> task) {
     std::lock_guard<std::mutex> lock(w.mu);
     DDC_CHECK(!w.stop);
     w.queue.push_back(std::move(task));
+    w.health.queue_depth.fetch_add(1, std::memory_order_relaxed);
   }
   w.wake.notify_one();
 }
@@ -60,7 +64,11 @@ void ThreadPool::Run(Worker* w) {
     w->queue.pop_front();
     w->running = true;
     lock.unlock();
+    w->health.Beat();
     task();
+    w->health.Beat();
+    w->health.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    w->health.tasks_completed.fetch_add(1, std::memory_order_relaxed);
     lock.lock();
     w->running = false;
     if (w->queue.empty()) w->idle.notify_all();

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/watchdog.h"
+
 namespace ddc {
 
 /// A fixed pool of worker threads with one FIFO task queue per worker.
@@ -38,6 +40,13 @@ class ThreadPool {
   /// Drain returns, the caller may freely read state the workers touched.
   void Drain();
 
+  /// Heartbeat cell of worker `worker`, stamped around every task it runs
+  /// and maintained by Submit — feed these to a telemetry Watchdog. Valid
+  /// for the pool's lifetime.
+  const WorkerHealth& health(int worker) const {
+    return workers_[worker]->health;
+  }
+
  private:
   struct Worker {
     std::mutex mu;
@@ -46,6 +55,7 @@ class ThreadPool {
     std::deque<std::function<void()>> queue;
     bool running = false;  // A task is executing right now.
     bool stop = false;     // Exit once the queue is empty.
+    WorkerHealth health;   // queue_depth counts queued + running tasks.
     std::thread thread;
   };
 

@@ -1,6 +1,9 @@
 #include "geom/simd_kernels.h"
 
 #include <cstdlib>
+#include <string>
+
+#include "telemetry/metrics.h"
 
 #if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
 #define DDC_SIMD_X86 1
@@ -145,6 +148,15 @@ FilterWithinFn FilterKernelForLevel(SimdLevel level) {
 }
 
 namespace simd_internal {
+
+void CountBatchCall() {
+  // Named after the tier dispatch picked, so a metrics dump answers "which
+  // kernel ran, and how often" in one line. The reference resolves once.
+  static Metric& metric = MetricsRegistry::Instance().GetOrCreate(
+      std::string("simd.batch_calls.") + SimdLevelName(ActiveSimdLevel()),
+      MetricKind::kCounter);
+  metric.Add(1);
+}
 
 SimdLevel ResolveSimdLevel() {
   if (ForceScalarFromEnv()) return SimdLevel::kScalar;

@@ -63,9 +63,18 @@ namespace simd_internal {
 /// forking.
 SimdLevel ResolveSimdLevel();
 
-/// The dispatched kernel, resolved on first use.
+/// Bumps the "simd.batch_calls.<tier>" counter (tier = the dispatched
+/// level's name) in the process metrics registry — one relaxed add; the
+/// metric is resolved once per process. Out-of-line so this header stays
+/// free of the telemetry dependency.
+void CountBatchCall();
+
+/// The dispatched kernel, resolved on first use. Every fetch is one batch
+/// dispatch, which is what the per-tier counter measures — the small-n
+/// scalar fast paths in the helpers below intentionally bypass both.
 inline FilterWithinFn ActiveFilterKernel() {
   static const FilterWithinFn kernel = FilterKernelForLevel(ActiveSimdLevel());
+  CountBatchCall();
   return kernel;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "telemetry/metrics.h"
 
 namespace ddc {
 
@@ -115,7 +116,15 @@ CellId Grid::GetOrCreateCell(const CellKey& key, uint64_t key_hash,
   cells_.push_back(Cell{key, {}, {}, {}, {}});
   sizes_.push_back(0);
   keys_.push_back(key);
+  DDC_COUNTER_INC("grid.cells_created");
+  // The flat-hash index rehashes by reallocating its slot array; a capacity
+  // change across the insert is exactly one rehash (counted here so the hash
+  // table itself stays telemetry-free).
+  const size_t index_capacity = cell_index_.capacity();
   cell_index_.EmplaceHashed(key_hash, key, c);
+  if (cell_index_.capacity() != index_capacity) {
+    DDC_COUNTER_INC("grid.index_rehashes");
+  }
   // Link with every already-materialized ε-close cell; links are symmetric
   // and permanent (cells are never destroyed). Two discovery strategies with
   // identical outcomes: probing the translation-independent offset table, or

@@ -1,0 +1,101 @@
+#include "telemetry/metrics.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace ddc {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+  }
+  return "unknown";
+}
+
+int Metric::NextCellIndex() {
+  static std::atomic<uint32_t> next{0};
+  return static_cast<int>(next.fetch_add(1, std::memory_order_relaxed) %
+                          static_cast<uint32_t>(kCells));
+}
+
+int64_t Metric::Value() const {
+  if (kind_ == MetricKind::kGauge) {
+    return gauge_.load(std::memory_order_relaxed);
+  }
+  int64_t sum = 0;
+  for (const Cell& cell : cells_) {
+    sum += cell.value.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // Never freed.
+  return *registry;
+}
+
+Metric& MetricsRegistry::GetOrCreate(std::string_view name, MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    std::string key(name);
+    it = metrics_
+             .emplace(key, std::unique_ptr<Metric>(new Metric(key, kind)))
+             .first;
+  }
+  DDC_CHECK(it->second->kind() == kind);  // One meaning per name.
+  return *it->second;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, metric] : metrics_) {
+    out.push_back(MetricSample{name, metric->kind(), metric->Value()});
+  }
+  return out;  // std::map iteration order == sorted by name.
+}
+
+int64_t MetricsRegistry::ValueOf(std::string_view name,
+                                 int64_t fallback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = metrics_.find(name);
+  return it == metrics_.end() ? fallback : it->second->Value();
+}
+
+std::vector<MetricSample> DeltaSince(const std::vector<MetricSample>& before,
+                                     const std::vector<MetricSample>& after) {
+  std::map<std::string_view, int64_t> base;
+  for (const MetricSample& s : before) {
+    if (s.kind == MetricKind::kCounter) base.emplace(s.name, s.value);
+  }
+  std::vector<MetricSample> out;
+  out.reserve(after.size());
+  for (const MetricSample& s : after) {
+    MetricSample d = s;
+    if (s.kind == MetricKind::kCounter) {
+      const auto it = base.find(s.name);
+      if (it != base.end()) d.value -= it->second;
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+void PrintMetrics(std::string_view prefix) {
+  for (const MetricSample& s : MetricsRegistry::Instance().Snapshot()) {
+    if (s.name.size() < prefix.size() ||
+        std::string_view(s.name).substr(0, prefix.size()) != prefix) {
+      continue;
+    }
+    std::printf("  %-44s %12lld\n", s.name.c_str(),
+                static_cast<long long>(s.value));
+  }
+}
+
+}  // namespace ddc

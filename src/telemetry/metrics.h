@@ -1,0 +1,177 @@
+#ifndef DDC_TELEMETRY_METRICS_H_
+#define DDC_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ddc {
+
+/// \file
+/// Process-wide metrics registry: named monotonic counters and set/max
+/// gauges, cheap enough to leave on in hot paths. A counter increment is a
+/// single relaxed fetch_add on one of a small set of cache-line-padded
+/// cells (the cell is picked per thread, round-robin, so concurrent
+/// incrementers do not ping-pong one line); aggregation sums the cells on
+/// read. Registration happens once per call site through a function-local
+/// static reference, so the steady-state cost of `DDC_COUNTER_INC` is the
+/// static-init guard check plus the atomic add.
+///
+/// Counters only ever go up (deltas between two snapshots are meaningful);
+/// gauges are point-in-time values written with last-wins `Set` or
+/// monotone `UpdateMax` (high-water marks). Values are int64 — the
+/// reporters convert units, not the hot paths.
+
+/// What a metric's value means; fixed at registration.
+enum class MetricKind {
+  kCounter = 0,  ///< Monotonic sum; report deltas between snapshots.
+  kGauge = 1,    ///< Point-in-time value; Set (last wins) or UpdateMax.
+};
+
+/// Short name ("counter" / "gauge") for reports.
+const char* MetricKindName(MetricKind kind);
+
+/// One named metric. Never constructed directly — obtained from
+/// MetricsRegistry::GetOrCreate, which guarantees a stable address for the
+/// process lifetime (the macros below cache the reference in a static).
+class Metric {
+ public:
+  /// Sharded counter cells; threads map onto them round-robin, so up to
+  /// kCells incrementers proceed without sharing a cache line.
+  static constexpr int kCells = 16;
+
+  Metric(const Metric&) = delete;
+  Metric& operator=(const Metric&) = delete;
+
+  /// Counter: adds `delta` (relaxed) to this thread's cell.
+  void Add(int64_t delta) {
+    cells_[ThreadCellIndex()].value.fetch_add(delta,
+                                              std::memory_order_relaxed);
+  }
+
+  /// Gauge: last write wins.
+  void Set(int64_t value) { gauge_.store(value, std::memory_order_relaxed); }
+
+  /// Gauge: raises the value to `value` if it is higher (high-water mark).
+  void UpdateMax(int64_t value) {
+    int64_t cur = gauge_.load(std::memory_order_relaxed);
+    while (cur < value && !gauge_.compare_exchange_weak(
+                              cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Aggregated value: sum of the cells for counters, the stored value for
+  /// gauges. Concurrent writers make this a momentary approximation; after
+  /// the writers are joined it is exact.
+  int64_t Value() const;
+
+  const std::string& name() const { return name_; }
+  MetricKind kind() const { return kind_; }
+
+ private:
+  friend class MetricsRegistry;
+
+  Metric(std::string name, MetricKind kind)
+      : name_(std::move(name)), kind_(kind) {}
+
+  struct alignas(64) Cell {
+    std::atomic<int64_t> value{0};
+  };
+
+  /// This thread's counter cell, assigned once per thread round-robin.
+  static int ThreadCellIndex() {
+    static thread_local const int index = NextCellIndex();
+    return index;
+  }
+  static int NextCellIndex();
+
+  std::string name_;
+  MetricKind kind_;
+  Cell cells_[kCells];
+  std::atomic<int64_t> gauge_{0};
+};
+
+/// One metric's name, kind, and aggregated value at snapshot time.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  int64_t value = 0;
+};
+
+/// The process-wide registry. Thread-safe; metrics are never removed, so
+/// references returned by GetOrCreate stay valid forever.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  /// The metric registered under `name`, created on first use. Aborts when
+  /// `name` is already registered with a different kind — a name means one
+  /// thing process-wide.
+  Metric& GetOrCreate(std::string_view name, MetricKind kind);
+
+  /// Every registered metric, sorted by name — the order is stable across
+  /// snapshots (the registry only grows, and names sort the same way every
+  /// time).
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Aggregated value of `name`, or `fallback` when nothing is registered
+  /// under it (reporters and tests; hot paths use the macros).
+  int64_t ValueOf(std::string_view name, int64_t fallback = 0) const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  /// Name -> metric; unique_ptr keeps addresses stable, std::less<> lets
+  /// string_view probe without allocating.
+  std::map<std::string, std::unique_ptr<Metric>, std::less<>> metrics_;
+};
+
+/// Per-run view between two snapshots: counters report `after - before`
+/// (metrics absent from `before` count from zero), gauges report their
+/// `after` value unchanged (a gauge is point-in-time, not a rate).
+std::vector<MetricSample> DeltaSince(const std::vector<MetricSample>& before,
+                                     const std::vector<MetricSample>& after);
+
+/// Prints "name<TAB>value" lines to stdout for metrics whose name starts
+/// with `prefix` (empty prefix prints everything).
+void PrintMetrics(std::string_view prefix);
+
+/// Registers (first use) and bumps the named counter. `name` must be a
+/// string literal or otherwise immortal; the resolved metric reference is
+/// cached in a function-local static, so the hot cost is one relaxed add.
+#define DDC_COUNTER_ADD(name, delta)                                        \
+  do {                                                                      \
+    static ::ddc::Metric& ddc_metric_static =                               \
+        ::ddc::MetricsRegistry::Instance().GetOrCreate(                     \
+            (name), ::ddc::MetricKind::kCounter);                           \
+    ddc_metric_static.Add(delta);                                           \
+  } while (0)
+
+#define DDC_COUNTER_INC(name) DDC_COUNTER_ADD(name, 1)
+
+/// Gauge write-through macros, same caching scheme as DDC_COUNTER_ADD.
+#define DDC_GAUGE_SET(name, value)                                          \
+  do {                                                                      \
+    static ::ddc::Metric& ddc_metric_static =                               \
+        ::ddc::MetricsRegistry::Instance().GetOrCreate(                     \
+            (name), ::ddc::MetricKind::kGauge);                             \
+    ddc_metric_static.Set(value);                                           \
+  } while (0)
+
+#define DDC_GAUGE_MAX(name, value)                                          \
+  do {                                                                      \
+    static ::ddc::Metric& ddc_metric_static =                               \
+        ::ddc::MetricsRegistry::Instance().GetOrCreate(                     \
+            (name), ::ddc::MetricKind::kGauge);                             \
+    ddc_metric_static.UpdateMax(value);                                     \
+  } while (0)
+
+}  // namespace ddc
+
+#endif  // DDC_TELEMETRY_METRICS_H_

@@ -92,6 +92,14 @@ void WriteLatencySummary(JsonWriter& w, const LatencyHistogram& h) {
   w.EndObject();
 }
 
+void WriteMetrics(JsonWriter& w, const std::vector<MetricSample>& samples) {
+  w.BeginObject();
+  for (const MetricSample& s : samples) {
+    w.Key(s.name).Int(s.value);
+  }
+  w.EndObject();
+}
+
 std::string BenchJson(const BenchRecord& record) {
   DDC_CHECK(record.workload != nullptr && record.stats != nullptr);
   const Workload& w = *record.workload;
@@ -131,6 +139,7 @@ std::string BenchJson(const BenchRecord& record) {
                   ? static_cast<double>(s.ops_executed) / s.total_seconds
                   : 0);
   j.Key("timed_out").Bool(s.timed_out);
+  j.Key("interrupted").Bool(s.interrupted);
   j.Key("avg_workload_cost_us").Double(s.avg_workload_cost_us);
   j.Key("avg_update_cost_us").Double(s.avg_update_cost_us);
   j.Key("avg_query_cost_us").Double(s.avg_query_cost_us);
@@ -151,6 +160,9 @@ std::string BenchJson(const BenchRecord& record) {
   j.Key("reader_query");
   WriteLatencySummary(j, s.reader_query_latency_us);
   j.EndObject();
+
+  j.Key("metrics");
+  WriteMetrics(j, record.metrics);
 
   j.Key("checkpoints").BeginObject();
   j.Key("ops").BeginArray();
@@ -182,7 +194,11 @@ bool ValidateBenchJson(const std::string& json, std::string* why) {
   if (version == nullptr || version->type != JsonValue::Type::kNumber) {
     return fail("missing schema_version");
   }
-  if (static_cast<int>(version->number_value) != kBenchSchemaVersion) {
+  // v2 documents (the committed bench trajectories) stay valid alongside
+  // the current version; the v3-only requirements below are skipped for
+  // them.
+  const int schema = static_cast<int>(version->number_value);
+  if (schema != kBenchSchemaVersion && schema != 2) {
     return fail("unexpected schema_version");
   }
   for (const char* key : {"tool", "scenario", "scenario_spec", "method"}) {
@@ -211,6 +227,22 @@ bool ValidateBenchJson(const std::string& json, std::string* why) {
   const JsonValue* timed_out = run->Find("timed_out");
   if (timed_out == nullptr || timed_out->type != JsonValue::Type::kBool) {
     return fail("run missing bool key 'timed_out'");
+  }
+  if (schema >= 3) {
+    const JsonValue* interrupted = run->Find("interrupted");
+    if (interrupted == nullptr ||
+        interrupted->type != JsonValue::Type::kBool) {
+      return fail("run missing bool key 'interrupted'");
+    }
+    const JsonValue* metrics = doc->Find("metrics");
+    if (metrics == nullptr || metrics->type != JsonValue::Type::kObject) {
+      return fail("missing object key 'metrics'");
+    }
+    for (const auto& [name, value] : metrics->members) {
+      if (value.type != JsonValue::Type::kNumber) {
+        return fail("metrics." + name + " is not a number");
+      }
+    }
   }
   const JsonValue* latency = doc->Find("latency_us");
   for (const char* op : {"insert", "delete", "query", "reader_query"}) {

@@ -8,6 +8,7 @@
 #include "common/json.h"
 #include "core/params.h"
 #include "telemetry/histogram.h"
+#include "telemetry/metrics.h"
 #include "workload/runner.h"
 #include "workload/workload.h"
 
@@ -45,6 +46,11 @@ void PrintSweep(const std::string& title, const std::string& x_label,
 /// "max":..}` (microseconds) as the next value of `w`.
 void WriteLatencySummary(JsonWriter& w, const LatencyHistogram& h);
 
+/// Writes `{"<name>": <value>, ...}` as the next value of `w` — one flat
+/// object, metric names as keys (samples are already name-sorted when they
+/// come from MetricsRegistry::Snapshot or DeltaSince).
+void WriteMetrics(JsonWriter& w, const std::vector<MetricSample>& samples);
+
 /// Everything identifying one (scenario, method) bench run. The caller owns
 /// all measurement: `params` should be the parameters the run actually
 /// executed with (EffectiveParams) and `peak_rss_bytes` the caller's RSS
@@ -58,13 +64,19 @@ struct BenchRecord {
   int64_t peak_rss_bytes = 0;
   const Workload* workload = nullptr;
   const RunStats* stats = nullptr;
+  /// Per-run metrics view (counters as deltas over the run, gauges as-is);
+  /// rendered as the v3 `metrics` section. See DeltaSince.
+  std::vector<MetricSample> metrics;
 };
 
 /// Version of the BENCH JSON schema below. Bump on any breaking change to
 /// field names, nesting, or units.
 ///   v2: concurrent read side — run.query_threads, run.reader_queries,
 ///       run.reader_queries_per_sec, latency_us.reader_query.
-inline constexpr int kBenchSchemaVersion = 2;
+///   v3: observability — top-level `metrics` object (per-run counter
+///       deltas + gauges from the metrics registry), run.interrupted
+///       (true when a signal truncated the run).
+inline constexpr int kBenchSchemaVersion = 3;
 
 /// Renders the schema-stable BENCH document: schema_version, scenario,
 /// method, params, workload shape, run aggregates (throughput, timed_out,
@@ -73,7 +85,9 @@ inline constexpr int kBenchSchemaVersion = 2;
 std::string BenchJson(const BenchRecord& record);
 
 /// Structural check of a BENCH document: parses and verifies the
-/// schema_version and every required key. `ddc_driver` runs this on its own
+/// schema_version and every required key. Accepts the current version and
+/// v2 (the committed trajectory dirs hold v2 files; v3 additions are
+/// required only of v3 documents). `ddc_driver` runs this on its own
 /// output before writing, so an emitted file is a validated file. On
 /// failure returns false and describes the problem in `*why`.
 bool ValidateBenchJson(const std::string& json, std::string* why);

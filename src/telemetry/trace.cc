@@ -1,0 +1,133 @@
+#include "telemetry/trace.h"
+
+#include <memory>
+#include <mutex>
+
+#include "common/json.h"
+
+namespace ddc {
+
+std::atomic<bool> Trace::enabled_{false};
+
+namespace trace_internal {
+
+void TraceRing::Record(const TraceEvent& event) {
+  if (ring_.size() < capacity_) {
+    if (ring_.capacity() == 0) ring_.reserve(capacity_);
+    ring_.push_back(event);
+  } else {
+    ring_[total_ % capacity_] = event;  // Overwrite the oldest.
+  }
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceRing::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;  // Not yet wrapped: slot order is record order.
+    return out;
+  }
+  // Wrapped: the oldest surviving event sits at the next write slot.
+  const size_t head = total_ % capacity_;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head + i) % capacity_]);
+  }
+  return out;
+}
+
+void TraceRing::Clear() {
+  ring_.clear();
+  total_ = 0;
+}
+
+namespace {
+
+/// One thread's buffer. Owned jointly by the thread (thread_local
+/// shared_ptr) and the global registry, so buffers of exited threads stay
+/// readable until the next ClearForTest.
+struct ThreadBuffer {
+  std::mutex mu;
+  TraceRing ring{Trace::kRingCapacity};
+  int tid = 0;  // Small sequential id, assigned in first-record order.
+};
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int next_tid = 1;
+};
+
+BufferRegistry& Registry() {
+  static BufferRegistry* registry = new BufferRegistry();  // Never freed.
+  return *registry;
+}
+
+ThreadBuffer& LocalBuffer() {
+  static thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    b->tid = reg.next_tid++;
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.ring.Record(TraceEvent{name, start_ns, end_ns});
+}
+
+}  // namespace trace_internal
+
+std::string Trace::ChromeTraceJson() {
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("traceEvents").BeginArray();
+  auto& reg = trace_internal::Registry();
+  std::vector<std::shared_ptr<trace_internal::ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    buffers = reg.buffers;
+  }
+  for (const auto& buffer : buffers) {
+    std::vector<trace_internal::TraceEvent> events;
+    int tid = 0;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mu);
+      events = buffer->ring.Events();
+      tid = buffer->tid;
+    }
+    for (const trace_internal::TraceEvent& e : events) {
+      j.BeginObject();
+      j.Key("name").String(e.name);
+      j.Key("cat").String("ddc");
+      j.Key("ph").String("X");
+      j.Key("ts").Double(static_cast<double>(e.start_ns) / 1e3);
+      j.Key("dur").Double(static_cast<double>(e.end_ns - e.start_ns) / 1e3);
+      j.Key("pid").Int(1);
+      j.Key("tid").Int(tid);
+      j.EndObject();
+    }
+  }
+  j.EndArray();
+  j.Key("displayTimeUnit").String("ms");
+  j.EndObject();
+  return j.str();
+}
+
+void Trace::ClearForTest() {
+  auto& reg = trace_internal::Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& buffer : reg.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->ring.Clear();
+  }
+}
+
+}  // namespace ddc

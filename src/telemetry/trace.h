@@ -1,0 +1,133 @@
+#ifndef DDC_TELEMETRY_TRACE_H_
+#define DDC_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddc {
+
+/// \file
+/// Structured tracing: RAII spans recorded into per-thread ring buffers and
+/// drained on demand as Chrome `trace_event` JSON (load the file in
+/// chrome://tracing or https://ui.perfetto.dev). Disabled by default;
+/// `DDC_TRACE_SPAN("name")` then costs one relaxed load plus a branch and
+/// touches nothing else. When enabled, recording a span is two steady-clock
+/// reads plus an uncontended mutex around the calling thread's own ring —
+/// tracing is an opt-in diagnosis tool, not part of the always-on budget
+/// (that is what telemetry/metrics.h is for).
+///
+/// Span names must be string literals (or otherwise immortal): the ring
+/// stores the pointer, not a copy.
+
+namespace trace_internal {
+
+/// One completed span, [start_ns, end_ns] on the steady clock.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+};
+
+/// Fixed-capacity event ring: when full, a new event overwrites the oldest
+/// one — the newest spans always survive, which is what a post-mortem
+/// wants. Not thread-safe by itself (the per-thread buffer wraps it in a
+/// mutex); exposed here so tests can drive the wrap logic directly.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity) : capacity_(capacity) {}
+
+  void Record(const TraceEvent& event);
+
+  /// Buffered events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  /// Total events ever recorded (including overwritten ones).
+  uint64_t total_recorded() const { return total_; }
+  /// Events lost to wrap-around.
+  uint64_t dropped() const {
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  std::vector<TraceEvent> ring_;  // Grown lazily up to capacity_.
+  uint64_t total_ = 0;            // total_ % capacity_ = next write slot.
+};
+
+/// Steady-clock nanoseconds (monotonic; comparable across threads).
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Appends one completed span to the calling thread's ring.
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns);
+
+}  // namespace trace_internal
+
+/// Process-wide trace control.
+class Trace {
+ public:
+  /// Events each thread's ring holds before wrap (24 bytes apiece; storage
+  /// is allocated on a thread's first recorded span, never when disabled).
+  static constexpr size_t kRingCapacity = 1u << 15;
+
+  static void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  static void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  /// The single branch every DDC_TRACE_SPAN pays.
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Everything currently buffered, across all threads (including exited
+  /// ones), as a Chrome trace_event JSON document:
+  /// {"traceEvents":[{"name",...,"ph":"X","ts",...}]}. Timestamps are
+  /// steady-clock microseconds; tids are small sequential ids in thread
+  /// first-record order.
+  static std::string ChromeTraceJson();
+
+  /// Drops all buffered events (test isolation).
+  static void ClearForTest();
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII span: records [construction, destruction] under `name` when tracing
+/// is enabled at construction time. `name` must be immortal (string
+/// literal).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(Trace::enabled() ? name : nullptr) {
+    if (name_ != nullptr) start_ns_ = trace_internal::NowNs();
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      trace_internal::RecordSpan(name_, start_ns_, trace_internal::NowNs());
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_ns_ = 0;
+};
+
+#define DDC_TRACE_CONCAT_INNER(a, b) a##b
+#define DDC_TRACE_CONCAT(a, b) DDC_TRACE_CONCAT_INNER(a, b)
+
+/// Scoped span covering the rest of the enclosing block.
+#define DDC_TRACE_SPAN(name) \
+  ::ddc::TraceSpan DDC_TRACE_CONCAT(ddc_trace_span_, __LINE__)(name)
+
+}  // namespace ddc
+
+#endif  // DDC_TELEMETRY_TRACE_H_

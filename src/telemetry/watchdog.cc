@@ -1,0 +1,70 @@
+#include "telemetry/watchdog.h"
+
+#include "telemetry/metrics.h"
+
+namespace ddc {
+
+Watchdog::Watchdog(std::vector<const WorkerHealth*> workers,
+                   std::vector<std::string> labels, const Options& options,
+                   std::function<void(const Stall&)> on_stall)
+    : workers_(std::move(workers)),
+      labels_(std::move(labels)),
+      options_(options),
+      on_stall_(std::move(on_stall)),
+      reported_beat_(workers_.size(), 0) {
+  monitor_ = std::thread([this] { Run(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  monitor_.join();
+}
+
+void Watchdog::Run() {
+  const uint64_t deadline_ns =
+      static_cast<uint64_t>(options_.deadline_ms) * 1000000ull;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    stop_cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_ms),
+                      [this] { return stop_; });
+    if (stop_) return;
+    lock.unlock();
+    const uint64_t now = WorkerHealth::NowNs();
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      const WorkerHealth& health = *workers_[i];
+      const int64_t depth = health.queue_depth.load(std::memory_order_relaxed);
+      const uint64_t beat =
+          health.last_beat_ns.load(std::memory_order_relaxed);
+      if (depth <= 0) {
+        // Idle is healthy; a later backlog starts a fresh episode.
+        reported_beat_[i] = 0;
+        continue;
+      }
+      const uint64_t quiet_ns = now > beat ? now - beat : 0;
+      if (quiet_ns < deadline_ns) continue;
+      if (reported_beat_[i] == beat) continue;  // Episode already reported.
+      reported_beat_[i] = beat;
+      stalls_.fetch_add(1, std::memory_order_relaxed);
+      DDC_COUNTER_INC("watchdog.stalls");
+      if (on_stall_) {
+        Stall stall;
+        stall.worker = static_cast<int>(i);
+        stall.label = i < labels_.size() && !labels_[i].empty()
+                          ? labels_[i]
+                          : "worker=" + std::to_string(i);
+        stall.queue_depth = depth;
+        stall.quiet_seconds = static_cast<double>(quiet_ns) / 1e9;
+        stall.tasks_completed =
+            health.tasks_completed.load(std::memory_order_relaxed);
+        on_stall_(stall);
+      }
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace ddc

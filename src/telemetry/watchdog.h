@@ -1,0 +1,105 @@
+#ifndef DDC_TELEMETRY_WATCHDOG_H_
+#define DDC_TELEMETRY_WATCHDOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ddc {
+
+/// \file
+/// Worker-thread heartbeat watchdog: each pool worker stamps a cheap
+/// atomic heartbeat around every task it runs; a monitor thread flags
+/// workers that have stayed quiet past a deadline *while work is queued
+/// for them* — an idle worker is healthy, a silent one with a backlog is
+/// wedged (deadlocked task, runaway loop, lost wakeup). The report is an
+/// actionable stall event (who, how long, how much is waiting), not a raw
+/// metric stream.
+
+/// Heartbeat cell one worker owns. The worker stamps `Beat()` before and
+/// after each task; the submitter maintains `queue_depth` (queued + the
+/// one running). All fields are relaxed atomics — the watchdog reads are
+/// approximate by design.
+struct WorkerHealth {
+  std::atomic<uint64_t> last_beat_ns{0};
+  std::atomic<int64_t> queue_depth{0};
+  std::atomic<uint64_t> tasks_completed{0};
+
+  /// Steady-clock nanoseconds, the timebase of `last_beat_ns`.
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void Beat() { last_beat_ns.store(NowNs(), std::memory_order_relaxed); }
+};
+
+/// Monitor thread over a fixed set of WorkerHealth cells. Fires `on_stall`
+/// once per stall episode (a worker re-stalling on the same heartbeat is
+/// not re-reported; a fresh beat re-arms it). Also bumps the
+/// "watchdog.stalls" counter in the metrics registry. The health cells
+/// must outlive the Watchdog.
+class Watchdog {
+ public:
+  struct Options {
+    /// A worker quiet this long with queue_depth > 0 is a stall.
+    int64_t deadline_ms = 2000;
+    /// Monitor poll cadence.
+    int64_t poll_ms = 100;
+  };
+
+  /// One detected stall, passed to the callback (which runs on the monitor
+  /// thread and must not block on the stalled worker).
+  struct Stall {
+    int worker = 0;        ///< Index into the watched set.
+    std::string label;     ///< Caller-supplied label (e.g. "shard=2").
+    int64_t queue_depth = 0;
+    double quiet_seconds = 0;
+    uint64_t tasks_completed = 0;
+  };
+
+  /// Watches `workers[i]` under `labels[i]` (labels may be empty or
+  /// shorter; missing labels render as "worker=<i>").
+  Watchdog(std::vector<const WorkerHealth*> workers,
+           std::vector<std::string> labels, const Options& options,
+           std::function<void(const Stall&)> on_stall);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Stalls reported since construction (monotonic).
+  uint64_t stalls_reported() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run();
+
+  const std::vector<const WorkerHealth*> workers_;
+  const std::vector<std::string> labels_;
+  const Options options_;
+  const std::function<void(const Stall&)> on_stall_;
+
+  /// Per worker, the heartbeat value already reported as stalled; monitor
+  /// thread only.
+  std::vector<uint64_t> reported_beat_;
+  std::atomic<uint64_t> stalls_{0};
+
+  std::mutex mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread monitor_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_TELEMETRY_WATCHDOG_H_

@@ -8,6 +8,8 @@
 
 #include "common/check.h"
 #include "core/cluster_snapshot.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace ddc {
 
@@ -26,6 +28,7 @@ struct ReaderWork {
 RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
                      const RunOptions& options) {
   using Clock = std::chrono::steady_clock;
+  DDC_TRACE_SPAN("runner.run");
   RunStats stats;
   stats.query_threads = options.query_threads;
 
@@ -47,6 +50,11 @@ RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
     readers.reserve(options.query_threads);
     for (int r = 0; r < options.query_threads; ++r) {
       readers.emplace_back([&, r] {
+        // Epoch of the previous queried snapshot: how far the published
+        // stream advanced between two consecutive queries of this reader is
+        // its lag (1 = kept up; more = epochs it never saw).
+        uint64_t prev_epoch = 0;
+        bool has_prev = false;
         for (;;) {
           const std::shared_ptr<const ReaderWork> w = reader_work.Load();
           if (w == nullptr) {
@@ -54,6 +62,14 @@ RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
             std::this_thread::yield();
             continue;
           }
+          const uint64_t epoch = w->snapshot->epoch();
+          if (has_prev && epoch > prev_epoch) {
+            DDC_GAUGE_MAX("runner.reader_epoch_lag",
+                          static_cast<int64_t>(epoch - prev_epoch));
+          }
+          prev_epoch = epoch;
+          has_prev = true;
+          DDC_TRACE_SPAN("runner.reader_query");
           const Clock::time_point t0 = Clock::now();
           const CGroupByResult result = w->snapshot->Query(w->qids);
           const Clock::time_point t1 = Clock::now();
@@ -116,6 +132,7 @@ RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
           // {snapshot, qids} to the readers. The timed cost is snapshot
           // construction + the pointer swap — the updater's entire query
           // bill in concurrent mode.
+          DDC_TRACE_SPAN("runner.publish");
           auto work = std::make_shared<ReaderWork>();
           work->snapshot = clusterer.Snapshot();
           work->qids = query_ids;
@@ -158,6 +175,10 @@ RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
         std::chrono::duration<double>(t1 - run_start).count() >
             options.time_budget_seconds) {
       stats.timed_out = true;
+      break;
+    }
+    if (options.stop_requested != nullptr && *options.stop_requested != 0) {
+      stats.interrupted = true;
       break;
     }
   }

@@ -1,6 +1,7 @@
 #ifndef DDC_WORKLOAD_RUNNER_H_
 #define DDC_WORKLOAD_RUNNER_H_
 
+#include <csignal>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -53,6 +54,11 @@ struct RunStats {
   /// True when the run hit the time budget before finishing (the paper
   /// terminated IncDBSCAN after 3 hours in 5D/7D; we do the same, scaled).
   bool timed_out = false;
+
+  /// True when RunOptions::stop_requested fired mid-run (SIGINT/SIGTERM in
+  /// the driver): the stats cover the executed prefix, exactly like a
+  /// timeout, but the two causes are reported apart.
+  bool interrupted = false;
 };
 
 struct RunOptions {
@@ -70,6 +76,11 @@ struct RunOptions {
   /// updater beyond the atomic work handle — the measurement of the
   /// lock-free read path.
   int query_threads = 0;
+  /// When non-null, checked once per operation: a non-zero value ends the
+  /// run cleanly (terminal checkpoint, aggregates over the executed prefix,
+  /// stats.interrupted = true). sig_atomic_t so a signal handler may be the
+  /// writer.
+  const volatile std::sig_atomic_t* stop_requested = nullptr;
 };
 
 /// Replays `workload` against `clusterer`, timing every operation.

@@ -1,0 +1,122 @@
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ddc {
+namespace {
+
+// The registry is process-global and never shrinks, so every test uses
+// names unique to itself — isolation by namespace, not by reset.
+
+TEST(MetricsTest, ConcurrentIncrementsSumExactly) {
+  Metric& counter = MetricsRegistry::Instance().GetOrCreate(
+      "test.metrics.concurrent", MetricKind::kCounter);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Relaxed per-cell adds must still never lose an increment.
+  EXPECT_EQ(counter.Value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsTest, MacroRegistersOnceAndAccumulates) {
+  for (int i = 0; i < 5; ++i) DDC_COUNTER_INC("test.metrics.macro");
+  DDC_COUNTER_ADD("test.metrics.macro", 10);
+  EXPECT_EQ(MetricsRegistry::Instance().ValueOf("test.metrics.macro"), 15);
+}
+
+TEST(MetricsTest, GaugeSetIsLastWins) {
+  DDC_GAUGE_SET("test.metrics.gauge_set", 42);
+  DDC_GAUGE_SET("test.metrics.gauge_set", 7);
+  EXPECT_EQ(MetricsRegistry::Instance().ValueOf("test.metrics.gauge_set"), 7);
+}
+
+TEST(MetricsTest, GaugeUpdateMaxIsMonotone) {
+  DDC_GAUGE_MAX("test.metrics.gauge_max", 5);
+  DDC_GAUGE_MAX("test.metrics.gauge_max", 9);
+  DDC_GAUGE_MAX("test.metrics.gauge_max", 3);  // Lower: must not regress.
+  EXPECT_EQ(MetricsRegistry::Instance().ValueOf("test.metrics.gauge_max"), 9);
+}
+
+TEST(MetricsTest, ConcurrentUpdateMaxKeepsTheMaximum) {
+  Metric& gauge = MetricsRegistry::Instance().GetOrCreate(
+      "test.metrics.concurrent_max", MetricKind::kGauge);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge, t] {
+      for (int i = 0; i < 1000; ++i) gauge.UpdateMax(t * 1000 + i);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(gauge.Value(), (kThreads - 1) * 1000 + 999);
+}
+
+TEST(MetricsTest, SnapshotIsNameSortedAndStable) {
+  DDC_COUNTER_INC("test.metrics.sorted.b");
+  DDC_COUNTER_INC("test.metrics.sorted.a");
+  DDC_COUNTER_INC("test.metrics.sorted.c");
+  const std::vector<MetricSample> snap = MetricsRegistry::Instance().Snapshot();
+  ASSERT_FALSE(snap.empty());
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].name, snap[i].name);
+  }
+  // Registering nothing new between snapshots keeps the order identical.
+  const std::vector<MetricSample> again =
+      MetricsRegistry::Instance().Snapshot();
+  ASSERT_EQ(snap.size(), again.size());
+  for (size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].name, again[i].name);
+  }
+}
+
+TEST(MetricsTest, ValueOfUnknownNameReturnsFallback) {
+  EXPECT_EQ(MetricsRegistry::Instance().ValueOf("test.metrics.absent", -7),
+            -7);
+}
+
+TEST(MetricsTest, DeltaSinceSubtractsCountersAndPassesGaugesThrough) {
+  DDC_COUNTER_ADD("test.metrics.delta.counter", 10);
+  DDC_GAUGE_SET("test.metrics.delta.gauge", 100);
+  const std::vector<MetricSample> before =
+      MetricsRegistry::Instance().Snapshot();
+  DDC_COUNTER_ADD("test.metrics.delta.counter", 5);
+  DDC_GAUGE_SET("test.metrics.delta.gauge", 50);
+  DDC_COUNTER_ADD("test.metrics.delta.fresh", 3);  // Absent from `before`.
+  const std::vector<MetricSample> delta =
+      DeltaSince(before, MetricsRegistry::Instance().Snapshot());
+
+  auto value_of = [&delta](const std::string& name) -> int64_t {
+    for (const MetricSample& s : delta) {
+      if (s.name == name) return s.value;
+    }
+    ADD_FAILURE() << "missing sample " << name;
+    return -1;
+  };
+  EXPECT_EQ(value_of("test.metrics.delta.counter"), 5);
+  EXPECT_EQ(value_of("test.metrics.delta.fresh"), 3);
+  // Gauges are point-in-time, not rates: the after value, even when lower.
+  EXPECT_EQ(value_of("test.metrics.delta.gauge"), 50);
+}
+
+TEST(MetricsDeathTest, KindMismatchAborts) {
+  MetricsRegistry::Instance().GetOrCreate("test.metrics.kind_clash",
+                                          MetricKind::kCounter);
+  EXPECT_DEATH(MetricsRegistry::Instance().GetOrCreate(
+                   "test.metrics.kind_clash", MetricKind::kGauge),
+               "DDC_CHECK failed");
+}
+
+}  // namespace
+}  // namespace ddc

@@ -8,6 +8,7 @@
 #include "core/fully_dynamic_clusterer.h"
 #include "engine/sharded_clusterer.h"
 #include "scenario/scenario.h"
+#include "telemetry/metrics.h"
 #include "tests/test_util.h"
 #include "workload/workload.h"
 
@@ -126,7 +127,8 @@ TEST(ShardedClustererTest, DeletesAndAlivePointsStayConsistent) {
 }
 
 /// Telemetry invariants, and the point of the hotspot scenario: the slab
-/// holding the hot band owns the bulk of the stream.
+/// holding the hot band owns the bulk of the stream. Occupancy now lands in
+/// the process metrics registry as engine.shard.NN.* gauges.
 TEST(ShardedClustererTest, TelemetryExposesHotspotImbalance) {
   const DbscanParams params{.dim = 2, .eps = 110.0, .min_pts = 5,
                             .rho = 0.001};
@@ -141,15 +143,23 @@ TEST(ShardedClustererTest, TelemetryExposesHotspotImbalance) {
     ApplyOp(engine, w, op, ids);
   }
 
-  const std::vector<ShardOccupancy> stats = engine.ShardTelemetry();
-  ASSERT_EQ(stats.size(), 4u);
+  engine.PublishShardMetrics();
+  const MetricsRegistry& registry = MetricsRegistry::Instance();
+  ASSERT_EQ(registry.ValueOf("engine.shards", -1), 4);
   int64_t owned = 0, ops = 0, max_owned = 0;
-  for (const ShardOccupancy& s : stats) {
-    EXPECT_GE(s.ghosts, 0);
-    EXPECT_GE(s.core, 0);
-    owned += s.owned;
-    ops += s.ops_applied;
-    max_owned = std::max(max_owned, s.owned);
+  for (int s = 0; s < 4; ++s) {
+    const int64_t shard_owned =
+        registry.ValueOf(ShardedClusterer::ShardMetricName(s, "owned"), -1);
+    EXPECT_GE(registry.ValueOf(
+                  ShardedClusterer::ShardMetricName(s, "ghosts"), -1),
+              0);
+    EXPECT_GE(registry.ValueOf(ShardedClusterer::ShardMetricName(s, "core"),
+                               -1),
+              0);
+    owned += shard_owned;
+    ops += registry.ValueOf(
+        ShardedClusterer::ShardMetricName(s, "ops_applied"), -1);
+    max_owned = std::max(max_owned, shard_owned);
   }
   // Owned replicas partition the alive set; ops include ghost replication.
   EXPECT_EQ(owned, engine.size());

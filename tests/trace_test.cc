@@ -1,0 +1,151 @@
+#include "telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+
+namespace ddc {
+namespace {
+
+using trace_internal::TraceEvent;
+using trace_internal::TraceRing;
+
+TraceEvent Event(const char* name, uint64_t start, uint64_t end) {
+  TraceEvent e;
+  e.name = name;
+  e.start_ns = start;
+  e.end_ns = end;
+  return e;
+}
+
+/// Tracing state is process-global; every test starts disabled and empty.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Trace::Disable();
+    Trace::ClearForTest();
+  }
+  void TearDown() override {
+    Trace::Disable();
+    Trace::ClearForTest();
+  }
+};
+
+TEST(TraceRingTest, KeepsEverythingUnderCapacity) {
+  TraceRing ring(4);
+  ring.Record(Event("a", 1, 2));
+  ring.Record(Event("b", 3, 4));
+  const std::vector<TraceEvent> events = ring.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "a");
+  EXPECT_STREQ(events[1].name, "b");
+  EXPECT_EQ(ring.total_recorded(), 2u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRingTest, WrapDropsOldestKeepsNewest) {
+  TraceRing ring(4);
+  const char* names[] = {"e0", "e1", "e2", "e3", "e4", "e5"};
+  for (int i = 0; i < 6; ++i) {
+    ring.Record(Event(names[i], i * 10, i * 10 + 1));
+  }
+  const std::vector<TraceEvent> events = ring.Events();
+  // 6 into 4: e0 and e1 are gone, survivors come back oldest first.
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_STREQ(events[0].name, "e2");
+  EXPECT_STREQ(events[1].name, "e3");
+  EXPECT_STREQ(events[2].name, "e4");
+  EXPECT_STREQ(events[3].name, "e5");
+  EXPECT_EQ(ring.total_recorded(), 6u);
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(Trace::enabled());
+  { DDC_TRACE_SPAN("trace_test.disabled"); }
+  const std::string json = Trace::ChromeTraceJson();
+  EXPECT_EQ(json.find("trace_test.disabled"), std::string::npos);
+}
+
+TEST_F(TraceTest, SpansNestAndJsonParses) {
+  Trace::Enable();
+  {
+    DDC_TRACE_SPAN("trace_test.outer");
+    DDC_TRACE_SPAN("trace_test.inner");
+  }
+  Trace::Disable();
+
+  std::string error;
+  const std::optional<JsonValue> doc =
+      JsonParse(Trace::ChromeTraceJson(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, JsonValue::Type::kArray);
+
+  const JsonValue* outer = nullptr;
+  const JsonValue* inner = nullptr;
+  for (const JsonValue& e : events->items) {
+    const JsonValue* name = e.Find("name");
+    ASSERT_NE(name, nullptr);
+    // Every event is a complete-span record with the Chrome keys.
+    EXPECT_EQ(e.Find("ph")->string_value, "X");
+    EXPECT_NE(e.Find("ts"), nullptr);
+    EXPECT_NE(e.Find("dur"), nullptr);
+    EXPECT_NE(e.Find("tid"), nullptr);
+    if (name->string_value == "trace_test.outer") outer = &e;
+    if (name->string_value == "trace_test.inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // RAII nesting: the inner span starts no earlier and ends no later.
+  const double outer_ts = outer->Find("ts")->number_value;
+  const double outer_end = outer_ts + outer->Find("dur")->number_value;
+  const double inner_ts = inner->Find("ts")->number_value;
+  const double inner_end = inner_ts + inner->Find("dur")->number_value;
+  EXPECT_GE(inner_ts, outer_ts);
+  EXPECT_LE(inner_end, outer_end);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTids) {
+  Trace::Enable();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([] { DDC_TRACE_SPAN("trace_test.threaded"); });
+  }
+  for (std::thread& t : threads) t.join();
+  Trace::Disable();
+
+  std::string error;
+  const std::optional<JsonValue> doc =
+      JsonParse(Trace::ChromeTraceJson(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  std::set<double> tids;
+  for (const JsonValue& e : doc->Find("traceEvents")->items) {
+    if (e.Find("name")->string_value == "trace_test.threaded") {
+      tids.insert(e.Find("tid")->number_value);
+    }
+  }
+  EXPECT_EQ(tids.size(), 3u);
+}
+
+TEST_F(TraceTest, EnableMidSpanDoesNotRecordIt) {
+  // The enabled check happens at span construction, so a span opened while
+  // disabled stays silent even if tracing turns on before it closes.
+  {
+    TraceSpan span("trace_test.straddler");
+    Trace::Enable();
+  }
+  Trace::Disable();
+  EXPECT_EQ(Trace::ChromeTraceJson().find("trace_test.straddler"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddc

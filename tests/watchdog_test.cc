@@ -1,0 +1,161 @@
+#include "telemetry/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/thread_pool.h"
+
+namespace ddc {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+/// Thread-safe stall collector for watchdog callbacks.
+struct StallLog {
+  std::mutex mu;
+  std::vector<Watchdog::Stall> stalls;
+
+  void Record(const Watchdog::Stall& stall) {
+    std::lock_guard<std::mutex> lock(mu);
+    stalls.push_back(stall);
+  }
+  size_t Count() {
+    std::lock_guard<std::mutex> lock(mu);
+    return stalls.size();
+  }
+  Watchdog::Stall First() {
+    std::lock_guard<std::mutex> lock(mu);
+    return stalls.at(0);
+  }
+};
+
+/// Polls until `count()` reaches `want` or `budget` elapses.
+template <typename Count>
+bool WaitForCount(Count count, size_t want, milliseconds budget) {
+  const steady_clock::time_point deadline = steady_clock::now() + budget;
+  while (count() < want) {
+    if (steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  return true;
+}
+
+TEST(WatchdogTest, DetectsBlockedWorkerWithCorrectIdentity) {
+  ThreadPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+
+  // Worker 1 wedges on the future; a second task queues up behind it so the
+  // watchdog sees work waiting on a silent worker.
+  pool.Submit(1, [released] { released.wait(); });
+  pool.Submit(1, [] {});
+
+  Watchdog::Options options;
+  options.deadline_ms = 100;
+  options.poll_ms = 20;
+  StallLog log;
+  Watchdog watchdog({&pool.health(0), &pool.health(1)},
+                    {"shard=0", "shard=1"}, options,
+                    [&log](const Watchdog::Stall& s) { log.Record(s); });
+
+  ASSERT_TRUE(WaitForCount([&log] { return log.Count(); }, 1,
+                           milliseconds(5000)))
+      << "watchdog never fired for the blocked worker";
+  const Watchdog::Stall stall = log.First();
+  EXPECT_EQ(stall.worker, 1);
+  EXPECT_EQ(stall.label, "shard=1");
+  EXPECT_GE(stall.queue_depth, 1);
+  EXPECT_GE(stall.quiet_seconds, 0.1);
+
+  // Same episode, same heartbeat: the watchdog must not re-report it no
+  // matter how many more polls elapse.
+  std::this_thread::sleep_for(milliseconds(400));
+  EXPECT_EQ(watchdog.stalls_reported(), 1u);
+  EXPECT_EQ(log.Count(), 1u);
+
+  release.set_value();
+  pool.Drain();
+}
+
+TEST(WatchdogTest, IdleWorkersAreNeverStalls) {
+  ThreadPool pool(2);
+  Watchdog::Options options;
+  options.deadline_ms = 50;
+  options.poll_ms = 10;
+  StallLog log;
+  Watchdog watchdog({&pool.health(0), &pool.health(1)},
+                    {"shard=0", "shard=1"}, options,
+                    [&log](const Watchdog::Stall& s) { log.Record(s); });
+
+  // Far past the deadline with empty queues: quiet but healthy.
+  std::this_thread::sleep_for(milliseconds(300));
+  EXPECT_EQ(watchdog.stalls_reported(), 0u);
+  EXPECT_EQ(log.Count(), 0u);
+}
+
+TEST(WatchdogTest, FreshWorkReArmsTheEpisode) {
+  ThreadPool pool(1);
+  Watchdog::Options options;
+  options.deadline_ms = 100;
+  options.poll_ms = 20;
+  StallLog log;
+  Watchdog watchdog({&pool.health(0)}, {"shard=0"}, options,
+                    [&log](const Watchdog::Stall& s) { log.Record(s); });
+
+  // First stall episode.
+  {
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    pool.Submit(0, [released] { released.wait(); });
+    pool.Submit(0, [] {});
+    ASSERT_TRUE(WaitForCount([&log] { return log.Count(); }, 1,
+                             milliseconds(5000)));
+    release.set_value();
+    pool.Drain();
+  }
+  // The drain beat plus an empty queue closed the episode; a second wedge is
+  // a fresh stall and must be reported again.
+  {
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    pool.Submit(0, [released] { released.wait(); });
+    pool.Submit(0, [] {});
+    EXPECT_TRUE(WaitForCount([&log] { return log.Count(); }, 2,
+                             milliseconds(5000)))
+        << "second stall episode was not re-reported";
+    release.set_value();
+    pool.Drain();
+  }
+  EXPECT_EQ(watchdog.stalls_reported(), log.Count());
+}
+
+TEST(WatchdogTest, MissingLabelFallsBackToWorkerIndex) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  pool.Submit(0, [released] { released.wait(); });
+  pool.Submit(0, [] {});
+
+  Watchdog::Options options;
+  options.deadline_ms = 50;
+  options.poll_ms = 10;
+  StallLog log;
+  Watchdog watchdog({&pool.health(0)}, /*labels=*/{}, options,
+                    [&log](const Watchdog::Stall& s) { log.Record(s); });
+  ASSERT_TRUE(
+      WaitForCount([&log] { return log.Count(); }, 1, milliseconds(5000)));
+  EXPECT_EQ(log.First().label, "worker=0");
+
+  release.set_value();
+  pool.Drain();
+}
+
+}  // namespace
+}  // namespace ddc

@@ -31,6 +31,12 @@ import sys
 from pathlib import Path
 
 
+# Every field this tool reads exists unchanged in both versions, so v2
+# baselines (the committed trajectory dirs) compare against v3 candidates
+# transparently; v3 merely adds run.interrupted and a metrics section.
+ACCEPTED_SCHEMAS = (2, 3)
+
+
 def load_bench_dir(path, key_mode):
     """(scenario, method-key) -> parsed BENCH document."""
     docs = {}
@@ -38,6 +44,7 @@ def load_bench_dir(path, key_mode):
         try:
             with open(f) as fh:
                 doc = json.load(fh)
+            schema = doc["schema_version"]
             scenario = doc["scenario"]
             method = doc["method"]
             doc["run"]["throughput_ops_per_sec"]
@@ -45,6 +52,10 @@ def load_bench_dir(path, key_mode):
         except (json.JSONDecodeError, KeyError, TypeError) as err:
             print(f"skipping {f}: not a valid BENCH document ({err})",
                   file=sys.stderr)
+            continue
+        if schema not in ACCEPTED_SCHEMAS:
+            print(f"skipping {f}: schema_version {schema} not in "
+                  f"{ACCEPTED_SCHEMAS}", file=sys.stderr)
             continue
         if key_mode == "base":
             method = method.split(":", 1)[0]
@@ -123,6 +134,10 @@ def main():
         notes = []
         if b["run"]["timed_out"] or c["run"]["timed_out"]:
             notes.append("TIMEOUT")
+        # v3: a signal truncated the run; the prefix is still comparable
+        # but the note flags the short measurement.
+        if b["run"].get("interrupted") or c["run"].get("interrupted"):
+            notes.append("INTERRUPTED")
         if b.get("params") != c.get("params"):
             notes.append("params differ")
         if b.get("seed") != c.get("seed"):

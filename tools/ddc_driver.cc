@@ -34,7 +34,18 @@
 //   --checkpoints Number of avgcost/maxupdcost checkpoints (default 10).
 //   --seed        Workload seed (default 1; a spec's seed= key wins).
 //   --out-dir     Output directory for BENCH_*.json (default ".").
+//   --metrics-out Write a standalone dump of the full metrics registry
+//                 (counters + gauges, absolute values) to this path at exit.
+//   --trace-out   Enable span tracing for the whole invocation and write the
+//                 Chrome trace_event JSON to this path at exit (load it in
+//                 chrome://tracing or ui.perfetto.dev).
+//
+// SIGINT/SIGTERM end the current run at the next operation boundary: the
+// truncated run still writes a valid BENCH file (run.interrupted=true,
+// terminal checkpoint included), remaining runs are skipped, and the
+// metrics/trace dumps are flushed before exit (status 130).
 
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -45,16 +56,50 @@
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "common/json.h"
 #include "core/method_registry.h"
 #include "engine/sharded_clusterer.h"
 #include "scenario/scenario.h"
+#include "telemetry/metrics.h"
 #include "telemetry/report.h"
 #include "telemetry/resource.h"
-#include "telemetry/shard_stats.h"
+#include "telemetry/trace.h"
 #include "workload/runner.h"
 #include "workload/workload.h"
 
 namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int sig) {
+  g_stop = 1;
+  // Second signal: default disposition, i.e. die immediately.
+  std::signal(sig, SIG_DFL);
+}
+
+/// Writes `text` to `path` (truncating); best-effort, complains on stderr.
+bool WriteFileOrWarn(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text << "\n";
+  out.close();
+  if (!out.good()) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Standalone metrics dump: the full registry, absolute values.
+std::string MetricsDumpJson() {
+  ddc::JsonWriter j;
+  j.BeginObject();
+  j.Key("tool").String("ddc_driver");
+  j.Key("kind").String("metrics_dump");
+  j.Key("metrics");
+  ddc::WriteMetrics(j, ddc::MetricsRegistry::Instance().Snapshot());
+  j.EndObject();
+  return j.str();
+}
 
 std::vector<std::string> Split(const std::string& text, char sep) {
   std::vector<std::string> parts;
@@ -140,9 +185,20 @@ int main(int argc, char** argv) {
   const std::string out_dir = flags.GetString("out-dir", ".");
   std::filesystem::create_directories(out_dir);
 
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
+  if (!trace_out.empty()) ddc::Trace::Enable();
+
+  // A first Ctrl-C ends the current run at the next operation boundary and
+  // still flushes every output; a second one gets the default disposition
+  // (set by the handler itself) and kills the process.
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
   int written = 0;
   std::set<std::string> written_paths;
   for (const std::string& spec : specs) {
+    if (g_stop != 0) break;
     const ddc::Workload workload = ddc::BuildScenarioWorkload(spec, seed);
     const std::string scenario = SpecName(spec);
 
@@ -178,14 +234,20 @@ int main(int argc, char** argv) {
       options.num_checkpoints = checkpoints;
       options.time_budget_seconds = budget;
       options.query_threads = query_threads;
+      options.stop_requested = &g_stop;
+      const std::vector<ddc::MetricSample> metrics_before =
+          ddc::MetricsRegistry::Instance().Snapshot();
       const ddc::RunStats stats =
           ddc::RunWorkload(*clusterer, workload, options);
 
       // Per-shard occupancy telemetry for the sharded engine: imbalance and
-      // replication overhead are invisible in aggregate throughput.
+      // replication overhead are invisible in aggregate throughput. The
+      // gauges land in the registry (and thus in this run's BENCH metrics);
+      // the console echo keeps them visible in interactive runs.
       if (auto* sharded =
               dynamic_cast<ddc::ShardedClusterer*>(clusterer.get())) {
-        ddc::PrintShardOccupancy(sharded->ShardTelemetry());
+        sharded->PublishShardMetrics();
+        ddc::PrintMetrics("engine.");
       }
 
       ddc::BenchRecord record;
@@ -199,6 +261,9 @@ int main(int argc, char** argv) {
       record.peak_rss_bytes = ddc::PeakRssBytes();
       record.workload = &workload;
       record.stats = &stats;
+      // Counters as deltas over this run, gauges as point-in-time values.
+      record.metrics = ddc::DeltaSince(
+          metrics_before, ddc::MetricsRegistry::Instance().Snapshot());
       const std::string json = ddc::BenchJson(record);
 
       // Never ship a document this build can't read back.
@@ -242,11 +307,31 @@ int main(int argc, char** argv) {
           stats.total_seconds > 0
               ? static_cast<double>(stats.ops_executed) / stats.total_seconds
               : 0,
-          readers, stats.timed_out ? " [TIMEOUT]" : "", path.c_str());
+          readers,
+          stats.interrupted ? " [INTERRUPTED]"
+                            : (stats.timed_out ? " [TIMEOUT]" : ""),
+          path.c_str());
       std::fflush(stdout);
+
+      if (g_stop != 0) break;
     }
+    if (g_stop != 0) break;
   }
 
-  std::printf("wrote %d BENCH file(s) to %s\n", written, out_dir.c_str());
+  // Terminal flush: both dumps are written even (especially) when a signal
+  // truncated the sweep, so an interrupted invocation still leaves valid
+  // observability artifacts behind.
+  bool flush_ok = true;
+  if (!metrics_out.empty()) {
+    flush_ok &= WriteFileOrWarn(metrics_out, MetricsDumpJson());
+  }
+  if (!trace_out.empty()) {
+    flush_ok &= WriteFileOrWarn(trace_out, ddc::Trace::ChromeTraceJson());
+  }
+
+  std::printf("wrote %d BENCH file(s) to %s%s\n", written, out_dir.c_str(),
+              g_stop != 0 ? " [interrupted]" : "");
+  if (g_stop != 0) return 130;
+  if (!flush_ok) return 1;
   return written > 0 ? 0 : 1;
 }
