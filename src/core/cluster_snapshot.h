@@ -142,6 +142,10 @@ class GridSnapshot final : public ClusterSnapshot {
   }
 
  private:
+  /// The persistence layer (persist/snapshot_io.cc) serializes and rebuilds
+  /// the frozen vectors directly — the on-disk sections mirror them 1:1.
+  friend class SnapshotIO;
+
   struct CellRec {
     uint64_t label = 0;  // Valid when members_begin < members_end.
     int32_t members_begin = 0;

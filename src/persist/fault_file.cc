@@ -1,0 +1,78 @@
+#include "persist/fault_file.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace ddc {
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : state_(std::make_shared<State>()) {
+  state_->plan = plan;
+  state_->error = "simulated crash (fault injection)";
+}
+
+WritableFileFactory FaultInjector::WrapFactory(WritableFileFactory inner) {
+  std::shared_ptr<State> state = state_;
+  return [state, inner = std::move(inner)](
+             const std::string& path) -> std::unique_ptr<WritableFile> {
+    return std::make_unique<FaultFile>(inner(path), state);
+  };
+}
+
+FaultFile::FaultFile(std::unique_ptr<WritableFile> inner,
+                     std::shared_ptr<FaultInjector::State> state)
+    : inner_(std::move(inner)), state_(std::move(state)) {}
+
+bool FaultFile::Append(const void* data, size_t n) {
+  if (state_->crashed) return false;
+  size_t accept = n;
+  const int64_t budget = state_->plan.crash_after_bytes;
+  if (budget >= 0) {
+    const int64_t remaining = budget - state_->bytes_passed;
+    if (static_cast<int64_t>(n) > remaining) {
+      // The write crossing the crash point lands only its prefix — exactly
+      // the torn write a power cut mid-write leaves behind.
+      accept = static_cast<size_t>(std::max<int64_t>(remaining, 0));
+      state_->crashed = true;
+    }
+  }
+  if (accept > 0) {
+    const int64_t flip = state_->plan.flip_bit;
+    const int64_t lo_bit = state_->bytes_passed * 8;
+    if (flip >= lo_bit && flip < lo_bit + static_cast<int64_t>(accept) * 8) {
+      std::vector<unsigned char> copy(
+          static_cast<const unsigned char*>(data),
+          static_cast<const unsigned char*>(data) + accept);
+      const int64_t rel = flip - lo_bit;
+      copy[static_cast<size_t>(rel / 8)] ^=
+          static_cast<unsigned char>(1u << (rel % 8));
+      if (!inner_->Append(copy.data(), accept)) return false;
+    } else if (!inner_->Append(data, accept)) {
+      return false;
+    }
+    state_->bytes_passed += static_cast<int64_t>(accept);
+    // The torn prefix must actually be on "disk" for recovery to see it.
+    if (state_->crashed) inner_->Flush();
+  }
+  return !state_->crashed;
+}
+
+bool FaultFile::Flush() { return !state_->crashed && inner_->Flush(); }
+
+bool FaultFile::Sync() { return !state_->crashed && inner_->Sync(); }
+
+bool FaultFile::Close() {
+  // Closing flushes the inner file even after a simulated crash so the test
+  // can inspect the bytes; the result still reports the crash.
+  const bool inner_ok = inner_->Close();
+  return !state_->crashed && inner_ok;
+}
+
+bool FaultFile::ok() const { return !state_->crashed && inner_->ok(); }
+
+const std::string& FaultFile::error() const {
+  return state_->crashed ? state_->error : inner_->error();
+}
+
+}  // namespace ddc

@@ -1,0 +1,80 @@
+#ifndef DDC_PERSIST_FAULT_FILE_H_
+#define DDC_PERSIST_FAULT_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/io.h"
+
+namespace ddc {
+
+/// Programmable storage faults for the recovery torture tests: what the
+/// bytes on disk look like after a kill -9 (an arbitrary prefix of the
+/// write stream, possibly ending mid-record) or after latent media
+/// corruption (a flipped bit). The injector wraps a WritableFileFactory so
+/// its byte ledger spans segment rotations — the crash point is an offset
+/// into the *whole* write stream, not one file.
+struct FaultPlan {
+  /// Accept exactly this many bytes across the injector's lifetime, then
+  /// "crash": the write that crosses the boundary lands only its prefix (a
+  /// torn write) and every later operation fails. -1 = never.
+  int64_t crash_after_bytes = -1;
+
+  /// Flip this bit (index into the cumulative write stream) as it passes
+  /// through, corrupting the stored data *after* its CRC was computed.
+  /// -1 = none.
+  int64_t flip_bit = -1;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  /// A factory producing fault-wrapped files over `inner`'s files, all
+  /// sharing this injector's ledger.
+  WritableFileFactory WrapFactory(WritableFileFactory inner);
+
+  /// True once the crash point was reached: the simulated process is dead,
+  /// the bytes written so far are what recovery gets to see.
+  bool crashed() const { return state_->crashed; }
+
+  /// Bytes accepted onto "disk" so far (including any torn prefix).
+  int64_t bytes_passed() const { return state_->bytes_passed; }
+
+ private:
+  struct State {
+    FaultPlan plan;
+    int64_t bytes_passed = 0;
+    bool crashed = false;
+    std::string error;
+  };
+
+  friend class FaultFile;
+  std::shared_ptr<State> state_;
+};
+
+/// The WritableFile a FaultInjector hands out: forwards to `inner`,
+/// enforcing the fault plan on the way through.
+class FaultFile final : public WritableFile {
+ public:
+  FaultFile(std::unique_ptr<WritableFile> inner,
+            std::shared_ptr<FaultInjector::State> state);
+
+  bool Append(const void* data, size_t n) override;
+  using WritableFile::Append;
+  bool Flush() override;
+  bool Sync() override;
+  bool Close() override;
+  bool ok() const override;
+  const std::string& error() const override;
+  int64_t bytes_written() const override { return inner_->bytes_written(); }
+
+ private:
+  std::unique_ptr<WritableFile> inner_;
+  std::shared_ptr<FaultInjector::State> state_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_PERSIST_FAULT_FILE_H_

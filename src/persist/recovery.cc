@@ -1,0 +1,194 @@
+#include "persist/recovery.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+#include "common/io.h"
+#include "common/json.h"
+#include "core/method_registry.h"
+#include "telemetry/metrics.h"
+
+namespace ddc {
+
+namespace {
+
+constexpr char kRunMetaName[] = "RUNMETA.json";
+
+std::string HexBits(double v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, std::bit_cast<uint64_t>(v));
+  return buf;
+}
+
+bool ParseHexBits(const std::string& s, double* out) {
+  uint64_t bits = 0;
+  if (s.rfind("0x", 0) != 0 ||
+      std::sscanf(s.c_str() + 2, "%16" SCNx64, &bits) != 1) {
+    return false;
+  }
+  *out = std::bit_cast<double>(bits);
+  return true;
+}
+
+}  // namespace
+
+bool WriteRunMeta(const std::string& dir, const RunMeta& meta,
+                  std::string* error) {
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("method").String(meta.method);
+  j.Key("scenario").String(meta.scenario);
+  j.Key("seed").Int(static_cast<int64_t>(meta.seed));
+  j.Key("params");
+  j.BeginObject();
+  j.Key("dim").Int(meta.params.dim);
+  j.Key("min_pts").Int(meta.params.min_pts);
+  j.Key("eps_bits").String(HexBits(meta.params.eps));
+  j.Key("rho_bits").String(HexBits(meta.params.rho));
+  // Readability duplicates; the bit patterns above are authoritative.
+  j.Key("eps").Double(meta.params.eps);
+  j.Key("rho").Double(meta.params.rho);
+  j.EndObject();
+  j.EndObject();
+  return WriteFileAtomic(dir + "/" + kRunMetaName, j.str(), error);
+}
+
+bool ReadRunMeta(const std::string& dir, RunMeta* meta, std::string* error) {
+  const std::string path = dir + "/" + kRunMetaName;
+  std::string text;
+  if (!ReadFileToString(path, &text, error)) return false;
+  std::string parse_error;
+  std::optional<JsonValue> doc = JsonParse(text, &parse_error);
+  if (!doc.has_value()) {
+    *error = "unparsable " + path + ": " + parse_error;
+    return false;
+  }
+  const JsonValue* method = doc->Find("method");
+  const JsonValue* scenario = doc->Find("scenario");
+  const JsonValue* seed = doc->Find("seed");
+  const JsonValue* params = doc->Find("params");
+  if (method == nullptr || method->type != JsonValue::Type::kString ||
+      scenario == nullptr || scenario->type != JsonValue::Type::kString ||
+      seed == nullptr || seed->type != JsonValue::Type::kNumber ||
+      params == nullptr || params->type != JsonValue::Type::kObject) {
+    *error = path + " is missing method/scenario/seed/params fields";
+    return false;
+  }
+  const JsonValue* dim = params->Find("dim");
+  const JsonValue* min_pts = params->Find("min_pts");
+  const JsonValue* eps_bits = params->Find("eps_bits");
+  const JsonValue* rho_bits = params->Find("rho_bits");
+  if (dim == nullptr || dim->type != JsonValue::Type::kNumber ||
+      min_pts == nullptr || min_pts->type != JsonValue::Type::kNumber ||
+      eps_bits == nullptr || eps_bits->type != JsonValue::Type::kString ||
+      rho_bits == nullptr || rho_bits->type != JsonValue::Type::kString) {
+    *error = path + " has a malformed params object";
+    return false;
+  }
+  meta->method = method->string_value;
+  meta->scenario = scenario->string_value;
+  meta->seed = static_cast<uint64_t>(seed->number_value);
+  meta->params.dim = static_cast<int>(dim->number_value);
+  meta->params.min_pts = static_cast<int>(min_pts->number_value);
+  if (!ParseHexBits(eps_bits->string_value, &meta->params.eps) ||
+      !ParseHexBits(rho_bits->string_value, &meta->params.rho)) {
+    *error = path + " has malformed eps_bits/rho_bits";
+    return false;
+  }
+  return true;
+}
+
+bool Recover(const std::string& dir, const RunMeta& meta,
+             RecoveryResult* result, std::string* error) {
+  std::string why;
+  if (!ValidateMethodSpec(meta.method, &why)) {
+    *error = "cannot recover " + dir + ": RUNMETA names method \"" +
+             meta.method + "\" this build rejects: " + why;
+    return false;
+  }
+  result->clusterer = MakeMethod(meta.method, meta.params);
+  result->ops.clear();
+  result->notes.clear();
+
+  // Collect first, apply after: a hard replay error must not leave a
+  // half-replayed clusterer in the result.
+  if (!ReplayWal(
+          dir, [&](const WalOp& op) { result->ops.push_back(op); },
+          &result->wal, error)) {
+    return false;
+  }
+  if (result->wal.truncated) {
+    result->notes.push_back(
+        "wal tail truncated at " + result->wal.truncated_file + " offset " +
+        std::to_string(result->wal.truncated_offset) + ": " +
+        result->wal.truncation_reason +
+        " (ops past this point were never acknowledged)");
+  }
+
+  for (const WalOp& op : result->ops) {
+    if (op.type == WalOp::Type::kInsert) {
+      if (op.dim != meta.params.dim) {
+        *error = "wal record seq " + std::to_string(op.seq) +
+                 " carries a dim-" + std::to_string(op.dim) +
+                 " point but RUNMETA says dim " +
+                 std::to_string(meta.params.dim) +
+                 ": log does not belong to this run";
+        return false;
+      }
+      const PointId got = result->clusterer->Insert(op.point);
+      if (got != op.id) {
+        *error = "replay divergence at wal seq " + std::to_string(op.seq) +
+                 ": log says insert was assigned id " +
+                 std::to_string(op.id) + " but method \"" + meta.method +
+                 "\" assigned " + std::to_string(got) +
+                 "; the log was not produced by this method/params";
+        return false;
+      }
+    } else {
+      result->clusterer->Delete(op.id);
+    }
+  }
+  result->clusterer->Flush();
+  DDC_COUNTER_ADD("persist.recovery_replayed_ops",
+                  static_cast<int64_t>(result->ops.size()));
+  DDC_COUNTER_INC("persist.recoveries");
+  result->notes.push_back(
+      "replayed " + std::to_string(result->ops.size()) + " ops from " +
+      std::to_string(result->wal.segments) + " wal segment(s), last seq " +
+      std::to_string(result->wal.last_seq));
+
+  // The snapshot side: best-effort, never fatal. A snapshot newer than the
+  // replayed log would mean the log lost acknowledged data — that *is*
+  // fatal, because the snapshot proves those ops were applied.
+  result->snapshot =
+      LoadNewestValidSnapshot(dir, &result->snapshot_meta, &result->notes);
+  if (result->snapshot != nullptr) {
+    if (result->snapshot_meta.last_seq > result->wal.last_seq) {
+      *error = "snapshot covers wal seq " +
+               std::to_string(result->snapshot_meta.last_seq) +
+               " but the log only replays to seq " +
+               std::to_string(result->wal.last_seq) +
+               ": wal lost acknowledged records";
+      return false;
+    }
+    result->notes.push_back(
+        "loaded snapshot " + SnapshotFileName(result->snapshot_meta.last_seq) +
+        " (" + result->snapshot_meta.kind + ", epoch " +
+        std::to_string(result->snapshot_meta.epoch) + ", covers seq " +
+        std::to_string(result->snapshot_meta.last_seq) + ")");
+  }
+  return true;
+}
+
+bool RecoverFromDir(const std::string& dir, RecoveryResult* result,
+                    RunMeta* meta, std::string* error) {
+  RunMeta local;
+  if (meta == nullptr) meta = &local;
+  if (!ReadRunMeta(dir, meta, error)) return false;
+  return Recover(dir, *meta, result, error);
+}
+
+}  // namespace ddc

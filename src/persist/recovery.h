@@ -1,0 +1,81 @@
+#ifndef DDC_PERSIST_RECOVERY_H_
+#define DDC_PERSIST_RECOVERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/clusterer.h"
+#include "core/params.h"
+#include "persist/snapshot_io.h"
+#include "persist/wal.h"
+
+namespace ddc {
+
+/// \file
+/// Crash recovery: reassembling the pre-crash clustering from a durability
+/// directory (WAL segments + periodic snapshots + RUNMETA.json).
+///
+/// Two artifacts come back, serving different callers:
+///   * a *fresh clusterer* with the full WAL replayed into it — the live
+///     structures (grids, CC forests, IncDBSCAN graphs) are not
+///     serializable, but every algorithm here is deterministic in its op
+///     stream and assigns ids monotonically, so replay reproduces the
+///     pre-crash clustering bit-identically and the writer can resume
+///     appending where the log ends;
+///   * the *newest valid snapshot*, loaded directly — the instant cold
+///     start for the query side, valid as of its recorded WAL seq.
+/// A torn record at the tail of the last segment is truncated (those ops
+/// were never acknowledged); corruption anywhere earlier is a hard error —
+/// recovery never skips over acknowledged data or accepts a bad CRC.
+
+/// Provenance of a durability directory, stored as RUNMETA.json next to the
+/// WAL segments so `--recover` is self-contained: it tells recovery which
+/// method and parameters produced the log it is about to replay.
+struct RunMeta {
+  std::string method;    // Full method spec.
+  std::string scenario;  // Scenario spec the run executed (provenance).
+  uint64_t seed = 0;     // Workload seed (lets --recover-verify rebuild it).
+  DbscanParams params;   // Effective params (bit-exact round trip).
+};
+
+/// Writes `dir`/RUNMETA.json atomically. False (with *error) on failure.
+bool WriteRunMeta(const std::string& dir, const RunMeta& meta,
+                  std::string* error);
+
+/// Reads `dir`/RUNMETA.json. False with an actionable *error on a missing
+/// file, unparsable JSON, or missing fields.
+bool ReadRunMeta(const std::string& dir, RunMeta* meta, std::string* error);
+
+struct RecoveryResult {
+  /// Fresh clusterer of the run's method with every logged op re-applied.
+  std::unique_ptr<Clusterer> clusterer;
+  /// The replayed ops, in order (inserts carry their validated ids).
+  std::vector<WalOp> ops;
+  WalReplayReport wal;
+
+  /// Newest snapshot in the directory that validated; null when none.
+  std::shared_ptr<const ClusterSnapshot> snapshot;
+  SnapshotMeta snapshot_meta;
+
+  /// Human-readable recovery log: snapshots skipped as invalid, tail
+  /// truncation, replay extent.
+  std::vector<std::string> notes;
+};
+
+/// Recovers from `dir` (which holds RUNMETA.json, wal-*.log and snap-*.snap
+/// files): replays the WAL into a fresh clusterer of `meta.method`, loads
+/// the newest valid snapshot, and cross-checks replayed inserts against the
+/// logged id assignment (a mismatch means the log does not belong to this
+/// method/params and is a hard error). False (with *error) when the log is
+/// unusable; snapshot problems alone are never fatal.
+bool Recover(const std::string& dir, const RunMeta& meta,
+             RecoveryResult* result, std::string* error);
+
+/// ReadRunMeta + Recover in one step.
+bool RecoverFromDir(const std::string& dir, RecoveryResult* result,
+                    RunMeta* meta, std::string* error);
+
+}  // namespace ddc
+
+#endif  // DDC_PERSIST_RECOVERY_H_

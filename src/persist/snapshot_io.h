@@ -1,0 +1,95 @@
+#ifndef DDC_PERSIST_SNAPSHOT_IO_H_
+#define DDC_PERSIST_SNAPSHOT_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster_snapshot.h"
+#include "core/params.h"
+
+namespace ddc {
+
+/// \file
+/// Versioned on-disk serialization of the epoch-frozen cluster snapshots —
+/// the engine's cold-start and replica-shipping format. One file per
+/// snapshot:
+///
+///   [8]  magic "DDCSNAP1"
+///   [4]  manifest length (little-endian)
+///   [4]  CRC32 of the manifest bytes
+///   [..] manifest — a JSON document (common/json.h): format version, kind
+///        ("grid" / "sharded"), epoch, the WAL sequence number the snapshot
+///        covers, DbscanParams provenance, per-shard metadata and routing
+///        shape, and the section table (name, offset, length, CRC32 of
+///        every binary section; offsets relative to the end of the
+///        manifest)
+///   [..] sections — raw little-endian blobs: packed coordinates, alive /
+///        core bits, cell records, boxes, adjacency, routing records,
+///        local-id maps, and the stitch label table
+///
+/// Scalar doubles that must round-trip bit-identically (eps, rho, the
+/// squared query radius) are stored in the manifest as hexadecimal bit
+/// patterns, not JSON numbers. Every section is CRC32-checksummed
+/// individually, so a flipped bit names the section it hit. Load rebuilds a
+/// snapshot whose Query() is bit-identical to the saved one's.
+
+inline constexpr int kSnapshotFormatVersion = 1;
+
+/// Identity of a saved snapshot, from its manifest.
+struct SnapshotMeta {
+  int format_version = 0;
+  std::string kind;  // "grid" or "sharded"
+  uint64_t epoch = 0;
+  /// WAL sequence number of the last op this snapshot includes (0 = none):
+  /// recovery replays the tail strictly after it.
+  uint64_t last_seq = 0;
+  DbscanParams params;
+};
+
+/// Serializes `snap` (a GridSnapshot or ShardedSnapshot) to `path` via an
+/// atomic temp-file + rename, so a crash mid-save never leaves a partial
+/// snapshot under the final name. False (with *error) on failure.
+bool SaveSnapshot(const ClusterSnapshot& snap, const DbscanParams& params,
+                  uint64_t last_seq, const std::string& path,
+                  std::string* error);
+
+/// Loads a snapshot file. Null on any validation failure — bad magic,
+/// corrupt or version-skewed manifest, section CRC mismatch, inconsistent
+/// section shapes — with an actionable description in *error naming the
+/// file and byte offset. `meta` (optional) receives the manifest identity.
+std::shared_ptr<const ClusterSnapshot> LoadSnapshot(const std::string& path,
+                                                    SnapshotMeta* meta,
+                                                    std::string* error);
+
+/// LoadSnapshot that aborts (DDC_CHECK) with the error on failure — the
+/// strict path for tools that cannot proceed without the snapshot.
+std::shared_ptr<const ClusterSnapshot> LoadSnapshotOrDie(
+    const std::string& path, SnapshotMeta* meta);
+
+/// Canonical file name of the snapshot covering WAL prefix `last_seq`.
+std::string SnapshotFileName(uint64_t last_seq);
+
+/// One snapshot file found in a directory (identity parsed from the name).
+struct SnapshotFileInfo {
+  std::string path;
+  uint64_t last_seq = 0;
+};
+
+/// The snap-*.snap files in `dir`, sorted by last_seq ascending.
+bool ListSnapshots(const std::string& dir,
+                   std::vector<SnapshotFileInfo>* snapshots,
+                   std::string* error);
+
+/// Loads the newest snapshot in `dir` that validates, scanning backwards;
+/// each invalid file is recorded in *notes (never silently accepted, never
+/// fatal — older valid snapshots still give a cold start). Null when the
+/// directory holds no valid snapshot.
+std::shared_ptr<const ClusterSnapshot> LoadNewestValidSnapshot(
+    const std::string& dir, SnapshotMeta* meta,
+    std::vector<std::string>* notes);
+
+}  // namespace ddc
+
+#endif  // DDC_PERSIST_SNAPSHOT_IO_H_

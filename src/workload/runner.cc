@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "core/cluster_snapshot.h"
+#include "persist/snapshot_io.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -93,6 +94,9 @@ RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
   std::vector<PointId> id_of(workload.points.size(), kInvalidPoint);
   std::vector<PointId> query_ids;
 
+  DDC_CHECK(options.snapshot_every <= 0 || options.wal != nullptr);
+  int64_t until_snapshot = options.snapshot_every;
+
   double total_cost_us = 0;
   double update_cost_us = 0;
   double query_cost_us = 0;
@@ -116,13 +120,25 @@ RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
                                                  : &stats.delete_latency_us;
     }
 
+    // Durability record of this op, filled by the update cases below.
+    WalOp logged;
+    const bool is_update = op.type != Operation::Type::kQuery;
+
     const Clock::time_point t0 = Clock::now();
     switch (op.type) {
-      case Operation::Type::kInsert:
-        id_of[op.target] = clusterer.Insert(workload.points[op.target]);
+      case Operation::Type::kInsert: {
+        const PointId id = clusterer.Insert(workload.points[op.target]);
+        id_of[op.target] = id;
+        logged.type = WalOp::Type::kInsert;
+        logged.id = id;
+        logged.dim = workload.dim;
+        logged.point = workload.points[op.target];
         break;
+      }
       case Operation::Type::kDelete:
         DDC_CHECK(id_of[op.target] != kInvalidPoint);
+        logged.type = WalOp::Type::kDelete;
+        logged.id = id_of[op.target];
         clusterer.Delete(id_of[op.target]);
         id_of[op.target] = kInvalidPoint;
         break;
@@ -145,11 +161,56 @@ RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
         break;
       }
     }
+    // Durability before acknowledgment: the record is appended (and synced,
+    // per the writer's policy) inside the timed window, so an update only
+    // counts as done once it would survive a crash. A WAL failure aborts —
+    // silently continuing would acknowledge ops recovery cannot replay.
+    if (is_update && options.wal != nullptr && !options.wal->Append(logged)) {
+      std::fprintf(stderr, "runner: wal append failed: %s\n",
+                   options.wal->error().c_str());
+      std::abort();
+    }
     // One timestamp ends the op measurement *and* feeds the budget check
     // below — the runner pays two clock reads per op, not three.
     const Clock::time_point t1 = Clock::now();
     const double us =
         std::chrono::duration<double, std::micro>(t1 - t0).count();
+
+    if (is_update) {
+      // Outside the timed window: the oplog is observability, and snapshot
+      // saves are checkpoint cost, not operation latency.
+      if (options.oplog != nullptr && !options.oplog->Append(logged)) {
+        std::fprintf(stderr, "runner: oplog append failed: %s\n",
+                     options.oplog->error().c_str());
+        std::abort();
+      }
+      if (options.snapshot_every > 0 && --until_snapshot <= 0) {
+        until_snapshot = options.snapshot_every;
+        DDC_TRACE_SPAN("runner.snapshot_save");
+        // The log must be on stable storage before a snapshot claims to
+        // cover it: recovery treats a snapshot newer than the replayable
+        // log as lost acknowledged data.
+        if (!options.wal->Sync()) {
+          std::fprintf(stderr, "runner: wal sync failed: %s\n",
+                       options.wal->error().c_str());
+          std::abort();
+        }
+        const uint64_t last_seq = options.wal->next_seq() - 1;
+        const std::string path =
+            options.snapshot_dir + "/" + SnapshotFileName(last_seq);
+        std::string save_error;
+        if (SaveSnapshot(*clusterer.Snapshot(), clusterer.params(), last_seq,
+                         path, &save_error)) {
+          ++stats.snapshots_saved;
+        } else {
+          // Snapshots only accelerate cold starts — the WAL alone recovers
+          // everything — so a failed save warns instead of aborting.
+          std::fprintf(stderr, "runner: snapshot save failed: %s\n",
+                       save_error.c_str());
+          DDC_COUNTER_INC("persist.snapshot_save_failures");
+        }
+      }
+    }
 
     total_cost_us += us;
     ++stats.ops_executed;
@@ -186,6 +247,22 @@ RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
   // Asynchronous engines may still hold enqueued updates; the barrier keeps
   // them inside the timing window so throughput reflects applied work.
   clusterer.Flush();
+
+  // Leave everything logged durable at run end, whatever the group-commit
+  // cadence was mid-run.
+  if (options.wal != nullptr) {
+    if (!options.wal->Sync()) {
+      std::fprintf(stderr, "runner: final wal sync failed: %s\n",
+                   options.wal->error().c_str());
+      std::abort();
+    }
+    stats.wal_last_seq = options.wal->next_seq() - 1;
+  }
+  if (options.oplog != nullptr && !options.oplog->Sync()) {
+    std::fprintf(stderr, "runner: final oplog sync failed: %s\n",
+                 options.oplog->error().c_str());
+    std::abort();
+  }
 
   // Stop the read side inside the timing window too — reader throughput is
   // measured against the same wall clock as the update stream.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/clusterer.h"
+#include "persist/wal.h"
 #include "telemetry/histogram.h"
 #include "workload/workload.h"
 
@@ -59,6 +60,12 @@ struct RunStats {
   /// the driver): the stats cover the executed prefix, exactly like a
   /// timeout, but the two causes are reported apart.
   bool interrupted = false;
+
+  /// Durability accounting (zero unless RunOptions wires a WAL/snapshots):
+  /// the WAL seq of the last logged update and how many snapshots the run
+  /// checkpointed.
+  uint64_t wal_last_seq = 0;
+  int64_t snapshots_saved = 0;
 };
 
 struct RunOptions {
@@ -81,6 +88,25 @@ struct RunOptions {
   /// stats.interrupted = true). sig_atomic_t so a signal handler may be the
   /// writer.
   const volatile std::sig_atomic_t* stop_requested = nullptr;
+
+  /// When non-null, every applied update is appended to this WAL *inside
+  /// the timed window*, between the clusterer call and the closing
+  /// timestamp: the op is durable (per the writer's fsync policy) before it
+  /// counts as done, so measured update cost includes the durability bill.
+  /// A WAL write error aborts the run (durability is not best-effort).
+  WalWriter* wal = nullptr;
+
+  /// When non-null, the applied update stream is also recorded here (the
+  /// `--oplog-out` satellite) — same record format, written *outside* the
+  /// timed window: it is observability, not durability.
+  WalWriter* oplog = nullptr;
+
+  /// Save a snapshot into `snapshot_dir` every `snapshot_every` applied
+  /// updates (0 = never). Saves run outside the per-op timed window — they
+  /// are checkpoint cost, not operation latency — but inside the run's wall
+  /// clock. Requires `wal` (snapshots are named by the WAL seq they cover).
+  int64_t snapshot_every = 0;
+  std::string snapshot_dir;
 };
 
 /// Replays `workload` against `clusterer`, timing every operation.

@@ -40,6 +40,30 @@
 //                 Chrome trace_event JSON to this path at exit (load it in
 //                 chrome://tracing or ui.perfetto.dev).
 //
+// Durability (see the "Durability" section of README.md):
+//   --wal-dir     Log every applied update to a write-ahead log before it
+//                 leaves the timing window. Each scenario×method run logs
+//                 into its own subdirectory <wal-dir>/<scenario>_<method>/
+//                 (RUNMETA.json + wal-*.log + snap-*.snap); a directory that
+//                 already holds a log is refused, never appended to.
+//   --wal-sync    fsync policy: 0 = never (default; a SIGKILL still loses
+//                 nothing — only power failure can), 1 = every record,
+//                 N > 1 = group commit every N records.
+//   --snapshot-every
+//                 Save a queryable snapshot into the run's WAL directory
+//                 every N applied updates (0 = never; requires --wal-dir).
+//   --oplog-out   Record the applied op stream (WAL record format, single
+//                 file) for offline analysis/replay; with several runs in
+//                 one invocation each gets <oplog-out>.<scenario>_<method>.
+//   --recover     Recover from a --wal-dir run subdirectory: load the newest
+//                 valid snapshot, replay the log tail into a fresh clusterer
+//                 of the logged method (truncating a torn tail, refusing
+//                 corruption anywhere else), report, and exit.
+//   --recover-verify
+//                 After --recover, rebuild the scenario from RUNMETA and
+//                 check the recovered clustering is bit-identical to an
+//                 uncrashed in-process replay of the same logged prefix.
+//
 // SIGINT/SIGTERM end the current run at the next operation boundary: the
 // truncated run still writes a valid BENCH file (run.interrupted=true,
 // terminal checkpoint included), remaining runs are skipped, and the
@@ -48,7 +72,6 @@
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <memory>
 #include <set>
 #include <string>
@@ -56,9 +79,12 @@
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "common/io.h"
 #include "common/json.h"
 #include "core/method_registry.h"
 #include "engine/sharded_clusterer.h"
+#include "persist/recovery.h"
+#include "persist/wal.h"
 #include "scenario/scenario.h"
 #include "telemetry/metrics.h"
 #include "telemetry/report.h"
@@ -77,13 +103,14 @@ void HandleStopSignal(int sig) {
   std::signal(sig, SIG_DFL);
 }
 
-/// Writes `text` to `path` (truncating); best-effort, complains on stderr.
+/// Writes `text` + newline to `path` (truncating) through the error-checked
+/// io helper; best-effort, complains on stderr with the failing call's
+/// errno.
 bool WriteFileOrWarn(const std::string& path, const std::string& text) {
-  std::ofstream out(path, std::ios::trunc);
-  out << text << "\n";
-  out.close();
-  if (!out.good()) {
-    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+  std::string error;
+  if (!ddc::WriteFile(path, text + "\n", &error)) {
+    std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                 error.c_str());
     return false;
   }
   return true;
@@ -99,6 +126,101 @@ std::string MetricsDumpJson() {
   ddc::WriteMetrics(j, ddc::MetricsRegistry::Instance().Snapshot());
   j.EndObject();
   return j.str();
+}
+
+/// The --recover entry point: reassemble the clustering from a durability
+/// directory, optionally cross-check it against an uncrashed in-process
+/// replay, report, and exit.
+int RunRecover(const std::string& dir, bool verify) {
+  ddc::RecoveryResult result;
+  ddc::RunMeta meta;
+  std::string error;
+  if (!ddc::RecoverFromDir(dir, &result, &meta, &error)) {
+    std::fprintf(stderr, "recovery failed: %s\n", error.c_str());
+    return 1;
+  }
+  for (const std::string& note : result.notes) {
+    std::printf("[recover] %s\n", note.c_str());
+  }
+  std::printf(
+      "[recover] method=%s scenario=%s seed=%llu -> %lld alive points\n",
+      meta.method.c_str(), meta.scenario.c_str(),
+      static_cast<unsigned long long>(meta.seed),
+      static_cast<long long>(result.clusterer->size()));
+  if (!verify) return 0;
+
+  // Rebuild the scenario the log came from and replay its update stream —
+  // queries skipped — op for op against the log. The recovered clusterer
+  // must (a) have logged exactly this prefix and (b) answer QueryAll
+  // bit-identically to the uncrashed reference.
+  const ddc::Workload workload =
+      ddc::BuildScenarioWorkload(meta.scenario, meta.seed);
+  if (workload.dim != meta.params.dim) {
+    std::fprintf(stderr,
+                 "recover-verify: scenario %s builds dim %d but RUNMETA says"
+                 " dim %d\n",
+                 meta.scenario.c_str(), workload.dim, meta.params.dim);
+    return 1;
+  }
+  std::unique_ptr<ddc::Clusterer> reference =
+      ddc::MakeMethod(meta.method, meta.params);
+  std::vector<ddc::PointId> id_of(workload.points.size(), ddc::kInvalidPoint);
+  size_t applied = 0;
+  for (const ddc::Operation& op : workload.ops) {
+    if (applied == result.ops.size()) break;
+    if (op.type == ddc::Operation::Type::kQuery) continue;
+    const ddc::WalOp& logged = result.ops[applied];
+    ++applied;
+    if (op.type == ddc::Operation::Type::kInsert) {
+      const ddc::PointId id = reference->Insert(workload.points[op.target]);
+      id_of[op.target] = id;
+      if (logged.type != ddc::WalOp::Type::kInsert || logged.id != id ||
+          !(logged.point == workload.points[op.target])) {
+        std::fprintf(stderr,
+                     "recover-verify: wal seq %llu does not match the"
+                     " scenario's update %zu (insert id %d)\n",
+                     static_cast<unsigned long long>(logged.seq), applied,
+                     id);
+        return 1;
+      }
+    } else {
+      if (logged.type != ddc::WalOp::Type::kDelete ||
+          logged.id != id_of[op.target]) {
+        std::fprintf(stderr,
+                     "recover-verify: wal seq %llu does not match the"
+                     " scenario's update %zu (delete id %d)\n",
+                     static_cast<unsigned long long>(logged.seq), applied,
+                     id_of[op.target]);
+        return 1;
+      }
+      reference->Delete(id_of[op.target]);
+      id_of[op.target] = ddc::kInvalidPoint;
+    }
+  }
+  if (applied != result.ops.size()) {
+    std::fprintf(stderr,
+                 "recover-verify: log holds %zu updates but the scenario"
+                 " only has %zu\n",
+                 result.ops.size(), applied);
+    return 1;
+  }
+  reference->Flush();
+  ddc::CGroupByResult expected = reference->QueryAll();
+  ddc::CGroupByResult recovered = result.clusterer->QueryAll();
+  expected.Canonicalize();
+  recovered.Canonicalize();
+  if (!(expected == recovered)) {
+    std::fprintf(stderr,
+                 "recover-verify: recovered clustering differs from the"
+                 " uncrashed replay (%zu vs %zu groups)\n",
+                 recovered.groups.size(), expected.groups.size());
+    return 1;
+  }
+  std::printf(
+      "[recover] verify OK: %zu replayed updates, clustering bit-identical"
+      " (%zu groups, %zu noise)\n",
+      applied, expected.groups.size(), expected.noise.size());
+  return 0;
 }
 
 std::vector<std::string> Split(const std::string& text, char sep) {
@@ -142,6 +264,11 @@ int main(int argc, char** argv) {
                 ddc::ScenarioHelp().c_str());
     std::printf("%s", ddc::MethodHelp().c_str());
     return 0;
+  }
+
+  const std::string recover_dir = flags.GetString("recover", "");
+  if (!recover_dir.empty()) {
+    return RunRecover(recover_dir, flags.GetBool("recover-verify", false));
   }
 
   std::string default_scenarios;
@@ -189,6 +316,16 @@ int main(int argc, char** argv) {
   const std::string trace_out = flags.GetString("trace-out", "");
   if (!trace_out.empty()) ddc::Trace::Enable();
 
+  const std::string wal_dir = flags.GetString("wal-dir", "");
+  const int wal_sync = static_cast<int>(flags.GetInt("wal-sync", 0));
+  const int64_t snapshot_every = flags.GetInt("snapshot-every", 0);
+  const std::string oplog_out = flags.GetString("oplog-out", "");
+  if (snapshot_every > 0 && wal_dir.empty()) {
+    std::fprintf(stderr, "--snapshot-every requires --wal-dir\n");
+    return 1;
+  }
+  const bool single_run = specs.size() == 1 && methods.size() == 1;
+
   // A first Ctrl-C ends the current run at the next operation boundary and
   // still flushes every output; a second one gets the default disposition
   // (set by the handler itself) and kills the process.
@@ -235,10 +372,66 @@ int main(int argc, char** argv) {
       options.time_budget_seconds = budget;
       options.query_threads = query_threads;
       options.stop_requested = &g_stop;
+
+      // Durability side: each run logs into its own subdirectory so one
+      // invocation's scenario×method sweep leaves one recoverable directory
+      // per run. RUNMETA goes down before the first logged op — recovery
+      // must never find a log it cannot interpret.
+      std::unique_ptr<ddc::WalWriter> wal;
+      if (!wal_dir.empty()) {
+        const std::string run_dir = wal_dir + "/" +
+                                    ddc::SanitizeForFilename(scenario) + "_" +
+                                    ddc::SanitizeForFilename(method);
+        std::filesystem::create_directories(run_dir);
+        ddc::RunMeta run_meta;
+        run_meta.method = method;
+        run_meta.scenario = spec;
+        run_meta.seed = workload.seed;
+        run_meta.params = ddc::EffectiveParams(method, params);
+        std::string error;
+        if (!ddc::WriteRunMeta(run_dir, run_meta, &error)) {
+          std::fprintf(stderr, "cannot write RUNMETA: %s\n", error.c_str());
+          return 1;
+        }
+        ddc::WalWriter::Options wal_options;
+        wal_options.sync_every = wal_sync;
+        wal = std::make_unique<ddc::WalWriter>(run_dir, wal_options);
+        if (!wal->ok()) {
+          std::fprintf(stderr, "cannot open wal: %s\n", wal->error().c_str());
+          return 1;
+        }
+        options.wal = wal.get();
+        options.snapshot_every = snapshot_every;
+        options.snapshot_dir = run_dir;
+      }
+      std::unique_ptr<ddc::WalWriter> oplog;
+      if (!oplog_out.empty()) {
+        const std::string path =
+            single_run ? oplog_out
+                       : oplog_out + "." + ddc::SanitizeForFilename(scenario) +
+                             "_" + ddc::SanitizeForFilename(method);
+        oplog = ddc::WalWriter::OpenSingleFile(path, {});
+        if (!oplog->ok()) {
+          std::fprintf(stderr, "cannot open oplog %s: %s\n", path.c_str(),
+                       oplog->error().c_str());
+          return 1;
+        }
+        options.oplog = oplog.get();
+      }
+
       const std::vector<ddc::MetricSample> metrics_before =
           ddc::MetricsRegistry::Instance().Snapshot();
       const ddc::RunStats stats =
           ddc::RunWorkload(*clusterer, workload, options);
+      if (wal != nullptr && !wal->Close()) {
+        std::fprintf(stderr, "wal close failed: %s\n", wal->error().c_str());
+        return 1;
+      }
+      if (oplog != nullptr && !oplog->Close()) {
+        std::fprintf(stderr, "oplog close failed: %s\n",
+                     oplog->error().c_str());
+        return 1;
+      }
 
       // Per-shard occupancy telemetry for the sharded engine: imbalance and
       // replication overhead are invisible in aggregate throughput. The
@@ -287,11 +480,12 @@ int main(int argc, char** argv) {
                      path.c_str());
         return 1;
       }
-      std::ofstream out(path, std::ios::trunc);
-      DDC_CHECK(out.good() && "cannot open output file");
-      out << json << "\n";
-      out.close();
-      DDC_CHECK(out.good() && "write failed");
+      std::string write_error;
+      if (!ddc::WriteFile(path, json + "\n", &write_error)) {
+        std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                     write_error.c_str());
+        return 1;
+      }
       ++written;
 
       char readers[96] = "";
