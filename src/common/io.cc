@@ -10,6 +10,8 @@
 #include <filesystem>
 #include <utility>
 
+#include "telemetry/metrics.h"
+
 namespace ddc {
 
 namespace {
@@ -79,6 +81,7 @@ BufferedFile::BufferedFile(int fd, std::string path)
 BufferedFile::~BufferedFile() { Close(); }
 
 void BufferedFile::LatchError(const char* op, int err) {
+  DDC_COUNTER_INC("io.write_failures");
   if (error_.empty()) error_ = Describe(op, path_, err);
 }
 

@@ -17,6 +17,7 @@ CGroupByResult Clusterer::Query(const std::vector<PointId>& q) {
 std::shared_ptr<const GridSnapshot> GridSnapshot::Build(
     const Sources& sources, double eps_outer, uint64_t epoch) {
   DDC_TRACE_SPAN("core.snapshot_build");
+  DDC_HISTOGRAM_SCOPED("core.snapshot_build");
   DDC_COUNTER_INC("core.snapshot_builds");
   DDC_CHECK(sources.grid != nullptr && sources.is_core != nullptr &&
             sources.cell_label != nullptr);

@@ -178,9 +178,11 @@ void ShardedClusterer::ProcessShard(Shard* shard) {
     DDC_TRACE_SPAN("engine.shard_batch");
     const auto t0 = std::chrono::steady_clock::now();
     for (const Op& op : batch) ApplyOp(*shard, op);
-    shard->busy_seconds +=
+    const double batch_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    shard->busy_seconds += batch_seconds;
+    DDC_HISTOGRAM_RECORD("engine.shard_batch", batch_seconds * 1e6);
     shard->ops_applied += static_cast<int64_t>(batch.size());
     ++shard->batches_applied;
     shard->dirty = true;
@@ -276,6 +278,7 @@ void ShardedClusterer::Flush() {
 
 void ShardedClusterer::PublishSnapshot() {
   DDC_TRACE_SPAN("engine.publish_snapshot");
+  DDC_HISTOGRAM_SCOPED("engine.snapshot_publish");
   DDC_COUNTER_INC("engine.snapshot_publications");
   // Workers are quiescent (post-drain): freeze each shard's query state —
   // the per-shard snapshot caches make this cheap for shards that applied

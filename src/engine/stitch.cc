@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "telemetry/metrics.h"
 
 namespace ddc {
 
@@ -101,6 +102,7 @@ int32_t BoundaryStitcher::InternKey(LabelTable& table, UnionFind& uf,
 
 void BoundaryStitcher::Rebuild(
     const std::function<void(PointId, std::vector<LabelKey>*)>& labels_of) {
+  DDC_HISTOGRAM_SCOPED("engine.stitch_rebuild");
   // A fresh table per epoch: snapshots holding the previous one keep
   // resolving against their own frozen epoch.
   auto table = std::make_shared<LabelTable>();

@@ -1,0 +1,120 @@
+#include "net/listener.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace ddc {
+
+namespace {
+
+std::string Describe(const char* op, int err) {
+  return std::string(op) + " failed: " + ::strerror(err);
+}
+
+}  // namespace
+
+TcpListener::~TcpListener() { Stop(); }
+
+bool TcpListener::Start(int port, Handler handler) {
+  handler_ = std::move(handler);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = Describe("socket", errno);
+    return false;
+  }
+  const int one = 1;
+  // Tests restart listeners quickly; without SO_REUSEADDR a TIME_WAIT
+  // remnant would make the re-bind flaky.
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // Localhost only.
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    error_ = Describe("bind", errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    error_ = Describe("listen", errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    error_ = Describe("getsockname", errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Run(); });
+  return true;
+}
+
+void TcpListener::Stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TcpListener::Run() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // poll with a short timeout instead of a blocking accept: the stop flag
+    // gets checked every pass, so Stop() never waits on a connection that
+    // will never come.
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // Timeout or EINTR: re-check stop flag.
+
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+
+    // A stuck or malicious client must not wedge the accept loop: bound
+    // both directions with socket timeouts.
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+    char buf[4096];
+    const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+    if (n > 0) {
+      const std::string response =
+          handler_(std::string_view(buf, static_cast<size_t>(n)));
+      size_t off = 0;
+      while (off < response.size()) {
+        const ssize_t w =
+            ::send(conn, response.data() + off, response.size() - off,
+                   MSG_NOSIGNAL);
+        if (w <= 0) break;  // Timeout or client gone: drop the rest.
+        off += static_cast<size_t>(w);
+      }
+    }
+    ::close(conn);
+  }
+}
+
+}  // namespace ddc

@@ -1,0 +1,72 @@
+#ifndef DDC_NET_LISTENER_H_
+#define DDC_NET_LISTENER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace ddc {
+
+/// \file
+/// The repo's first networking code, deliberately minimal and read-only: a
+/// localhost-only TCP listener that accepts one connection at a time, reads
+/// a single request, hands the raw bytes to a handler, writes the returned
+/// bytes back, and closes. Enough for a stats scrape; nothing else. No
+/// TLS, no keep-alive, no concurrency — the stats endpoints it carries are
+/// cheap and the client is a collector polling every few seconds.
+
+/// Localhost TCP listener running an accept loop on its own thread.
+///
+/// The handler receives the request bytes read from the connection (up to
+/// one read buffer — fine for the one-line GETs this serves) and returns
+/// the full response bytes to write back. It runs on the listener thread;
+/// it must not block indefinitely.
+class TcpListener {
+ public:
+  using Handler = std::function<std::string(std::string_view request)>;
+
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-chosen ephemeral port), starts the
+  /// accept thread, and returns true. On failure returns false with the
+  /// reason in error(). Call once.
+  bool Start(int port, Handler handler);
+
+  /// Stops the accept loop and joins the thread (idempotent; also called by
+  /// the destructor). In-flight requests finish first.
+  void Stop();
+
+  /// The bound port (the actual one when Start was given 0); 0 before
+  /// Start().
+  int port() const { return port_; }
+
+  /// Empty when healthy; the bind/listen failure reason otherwise.
+  const std::string& error() const { return error_; }
+
+  /// Connections accepted so far (monotone; for tests and /varz).
+  int64_t connections_handled() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run();
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::string error_;
+  Handler handler_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> connections_{0};
+};
+
+}  // namespace ddc
+
+#endif  // DDC_NET_LISTENER_H_

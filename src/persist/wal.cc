@@ -127,6 +127,7 @@ std::unique_ptr<WalWriter> WalWriter::OpenSingleFile(const std::string& path,
 WalWriter::~WalWriter() { Close(); }
 
 void WalWriter::Latch(const std::string& error) {
+  DDC_COUNTER_INC("wal.errors");
   if (error_.empty()) error_ = error;
 }
 
@@ -149,6 +150,7 @@ bool WalWriter::OpenSegment(uint64_t first_seq) {
 
 bool WalWriter::Append(WalOp& op) {
   if (!ok()) return false;
+  DDC_HISTOGRAM_SCOPED("wal.append");
   op.seq = next_seq_;
   // Rotate before the record so a segment never splits one.
   if (!single_file_ && file_->bytes_written() >= options_.segment_bytes) {
@@ -186,9 +188,12 @@ bool WalWriter::Append(WalOp& op) {
 bool WalWriter::Sync() {
   if (!ok()) return false;
   if (unsynced_records_ == 0) return true;
-  if (!file_->Sync()) {
-    Latch("wal sync failed: " + file_->error());
-    return false;
+  {
+    DDC_HISTOGRAM_SCOPED("wal.fsync");
+    if (!file_->Sync()) {
+      Latch("wal sync failed: " + file_->error());
+      return false;
+    }
   }
   unsynced_records_ = 0;
   DDC_COUNTER_INC("wal.syncs");

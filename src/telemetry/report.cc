@@ -95,7 +95,19 @@ void WriteLatencySummary(JsonWriter& w, const LatencyHistogram& h) {
 void WriteMetrics(JsonWriter& w, const std::vector<MetricSample>& samples) {
   w.BeginObject();
   for (const MetricSample& s : samples) {
-    w.Key(s.name).Int(s.value);
+    if (s.kind == MetricKind::kHistogram) {
+      // Flattened to dotted numeric keys so the object stays a flat
+      // name -> number map (the schema v3 contract bench_compare relies on).
+      w.Key(s.name + ".count").Int(s.hist.count);
+      w.Key(s.name + ".sum_us").Double(s.hist.sum_us());
+      w.Key(s.name + ".min_us").Double(s.hist.min_us());
+      w.Key(s.name + ".max_us").Double(s.hist.max_us());
+      w.Key(s.name + ".p50_us").Double(s.hist.Quantile(0.50));
+      w.Key(s.name + ".p95_us").Double(s.hist.Quantile(0.95));
+      w.Key(s.name + ".p99_us").Double(s.hist.Quantile(0.99));
+    } else {
+      w.Key(s.name).Int(s.value);
+    }
   }
   w.EndObject();
 }

@@ -1,0 +1,119 @@
+#include "telemetry/sampler.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "telemetry/report.h"
+#include "telemetry/resource.h"
+
+namespace ddc {
+
+StatsSampler::StatsSampler(const Options& options) : options_(options) {
+  DDC_CHECK(options_.interval_ms > 0);
+  DDC_CHECK(options_.ring_capacity > 0);
+}
+
+StatsSampler::~StatsSampler() { Stop(); }
+
+void StatsSampler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  start_time_ = std::chrono::steady_clock::now();
+  // Baseline snapshot so the first tick reports its own interval, not the
+  // whole pre-Start() history.
+  prev_ = MetricsRegistry::Instance().Snapshot();
+  thread_ = std::thread([this] { Run(); });
+}
+
+void StatsSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stop_) return;
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+}
+
+int64_t StatsSampler::UptimeMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_) return 0;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - start_time_)
+      .count();
+}
+
+void StatsSampler::SampleNow() {
+  std::unique_lock<std::mutex> lock(mu_);
+  CaptureLocked(lock);
+}
+
+void StatsSampler::CaptureLocked(std::unique_lock<std::mutex>& lock) {
+  // Process vitals are published as gauges *before* the snapshot so they
+  // ride along in every sample (and in /metrics) without the reader knowing
+  // about telemetry/resource.h.
+  const int64_t uptime_ms =
+      started_ ? std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start_time_)
+                     .count()
+               : 0;
+  DDC_GAUGE_SET("process.rss_bytes", PeakRssBytes());
+  DDC_GAUGE_SET("process.uptime_ms", uptime_ms);
+
+  std::vector<MetricSample> now = MetricsRegistry::Instance().Snapshot();
+  StatsSample sample;
+  sample.uptime_ms = uptime_ms;
+  sample.delta = DeltaSince(prev_, now);
+  prev_ = std::move(now);
+  if (static_cast<int>(ring_.size()) >= options_.ring_capacity) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(sample));
+  (void)lock;
+}
+
+void StatsSampler::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    stop_cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                      [this] { return stop_; });
+    if (stop_) return;
+    CaptureLocked(lock);
+  }
+}
+
+std::string StatsSampler::RingJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("interval_ms").Int(options_.interval_ms);
+  j.Key("ring_capacity").Int(options_.ring_capacity);
+  j.Key("dropped").Int(dropped_);
+  j.Key("samples").BeginArray();
+  for (const StatsSample& s : ring_) {
+    j.BeginObject();
+    j.Key("uptime_ms").Int(s.uptime_ms);
+    j.Key("metrics");
+    WriteMetrics(j, s.delta);
+    j.EndObject();
+  }
+  j.EndArray();
+  j.EndObject();
+  return j.str();
+}
+
+int StatsSampler::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(ring_.size());
+}
+
+int64_t StatsSampler::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace ddc

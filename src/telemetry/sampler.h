@@ -1,0 +1,91 @@
+#ifndef DDC_TELEMETRY_SAMPLER_H_
+#define DDC_TELEMETRY_SAMPLER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace ddc {
+
+/// \file
+/// Background time-series sampler over the metrics registry: every interval
+/// it snapshots the whole registry, computes DeltaSince the previous tick
+/// (counter and histogram values become per-interval rates/distributions,
+/// gauges pass through), and pushes the result into a bounded in-memory
+/// ring. A run's trajectory over time, not just its endpoint — dumped as a
+/// JSON time series at exit and scraped live through the stats server.
+
+/// One captured tick: wall-clock offset from sampler start plus the
+/// per-interval registry delta.
+struct StatsSample {
+  int64_t uptime_ms = 0;
+  std::vector<MetricSample> delta;
+};
+
+/// Periodic registry sampler. Start() spawns the thread; the destructor (or
+/// Stop()) joins it. Thread-safe readers: RingJson/SampleNow may be called
+/// concurrently with the sampler tick.
+class StatsSampler {
+ public:
+  struct Options {
+    int interval_ms = 250;   ///< Tick period.
+    int ring_capacity = 512; ///< Oldest samples are dropped beyond this.
+  };
+
+  explicit StatsSampler(const Options& options);
+  ~StatsSampler();
+
+  StatsSampler(const StatsSampler&) = delete;
+  StatsSampler& operator=(const StatsSampler&) = delete;
+
+  /// Spawns the sampling thread (idempotent).
+  void Start();
+
+  /// Joins the sampling thread (idempotent; also called by the destructor).
+  void Stop();
+
+  /// Takes one sample immediately — used for the final tick at shutdown so
+  /// the ring always covers the run's tail, and by tests.
+  void SampleNow();
+
+  /// Milliseconds since Start() (0 before Start()).
+  int64_t UptimeMs() const;
+
+  /// The ring as a JSON document:
+  /// {"interval_ms":..,"dropped":..,"samples":[{"uptime_ms":..,
+  ///  "metrics":{name:value,...}},...]} — histogram deltas flattened to
+  /// dotted numeric keys exactly like the BENCH metrics object.
+  std::string RingJson() const;
+
+  /// Number of samples currently buffered.
+  int size() const;
+
+  /// Samples evicted because the ring was full.
+  int64_t dropped() const;
+
+ private:
+  void Run();
+  void CaptureLocked(std::unique_lock<std::mutex>& lock);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+  std::chrono::steady_clock::time_point start_time_;
+  std::vector<MetricSample> prev_;  ///< Snapshot at the previous tick.
+  std::deque<StatsSample> ring_;
+  int64_t dropped_ = 0;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_TELEMETRY_SAMPLER_H_

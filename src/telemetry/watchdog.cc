@@ -22,6 +22,9 @@ Watchdog::~Watchdog() {
   }
   stop_cv_.notify_all();
   monitor_.join();
+  // A dead watchdog watches nothing: don't leave a stale "stalled" reading
+  // behind for the health report.
+  DDC_GAUGE_SET("watchdog.stalled_workers", 0);
 }
 
 void Watchdog::Run() {
@@ -34,6 +37,7 @@ void Watchdog::Run() {
     if (stop_) return;
     lock.unlock();
     const uint64_t now = WorkerHealth::NowNs();
+    int64_t stalled_now = 0;
     for (size_t i = 0; i < workers_.size(); ++i) {
       const WorkerHealth& health = *workers_[i];
       const int64_t depth = health.queue_depth.load(std::memory_order_relaxed);
@@ -46,6 +50,7 @@ void Watchdog::Run() {
       }
       const uint64_t quiet_ns = now > beat ? now - beat : 0;
       if (quiet_ns < deadline_ns) continue;
+      ++stalled_now;
       if (reported_beat_[i] == beat) continue;  // Episode already reported.
       reported_beat_[i] = beat;
       stalls_.fetch_add(1, std::memory_order_relaxed);
@@ -63,6 +68,10 @@ void Watchdog::Run() {
         on_stall_(stall);
       }
     }
+    // Live count of workers currently quiet past the deadline with backlog
+    // — the /healthz "stalled right now" signal, distinct from the
+    // cumulative watchdog.stalls episode counter.
+    DDC_GAUGE_SET("watchdog.stalled_workers", stalled_now);
     lock.lock();
   }
 }

@@ -187,6 +187,7 @@ RunStats RunWorkload(Clusterer& clusterer, const Workload& workload,
       if (options.snapshot_every > 0 && --until_snapshot <= 0) {
         until_snapshot = options.snapshot_every;
         DDC_TRACE_SPAN("runner.snapshot_save");
+        DDC_HISTOGRAM_SCOPED("runner.snapshot_save");
         // The log must be on stable storage before a snapshot claims to
         // cover it: recovery treats a snapshot newer than the replayable
         // log as lost acknowledged data.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <thread>
 #include <vector>
@@ -108,6 +109,104 @@ TEST(MetricsTest, DeltaSinceSubtractsCountersAndPassesGaugesThrough) {
   EXPECT_EQ(value_of("test.metrics.delta.fresh"), 3);
   // Gauges are point-in-time, not rates: the after value, even when lower.
   EXPECT_EQ(value_of("test.metrics.delta.gauge"), 50);
+}
+
+TEST(MetricsTest, ConcurrentHistogramRecordsSumExactly) {
+  Metric& hist = MetricsRegistry::Instance().GetOrCreate(
+      "test.metrics.hist_concurrent", MetricKind::kHistogram);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Record(1.0 + (t * kPerThread + i) % 100);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const HistogramData data = hist.HistogramValue();
+  EXPECT_EQ(data.count, int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(hist.Value(), data.count);  // Value() == sample count.
+  // Every sample was in [1, 100] µs, integer-valued, so the merged sum,
+  // min and max are exact regardless of interleaving.
+  int64_t expect_sum_ns = 0;
+  for (int s = 0; s < kThreads * kPerThread; ++s) {
+    expect_sum_ns += (1 + s % 100) * 1000;
+  }
+  EXPECT_EQ(data.sum_ns, expect_sum_ns);
+  EXPECT_DOUBLE_EQ(data.min_us(), 1.0);
+  EXPECT_DOUBLE_EQ(data.max_us(), 100.0);
+  int64_t bucket_total = 0;
+  for (const int64_t b : data.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, data.count);
+}
+
+TEST(MetricsTest, HistogramQuantilesWithinOneBucketOfExact) {
+  Metric& hist = MetricsRegistry::Instance().GetOrCreate(
+      "test.metrics.hist_quantile", MetricKind::kHistogram);
+  // 1..1000 µs once each: the exact q-quantile is q*1000.
+  for (int v = 1; v <= 1000; ++v) hist.Record(static_cast<double>(v));
+  const HistogramData data = hist.HistogramValue();
+  ASSERT_EQ(data.count, 1000);
+  for (const double q : {0.50, 0.95, 0.99}) {
+    const double exact = q * 1000;
+    const double approx = data.Quantile(q);
+    // Log buckets are 2^(1/8) wide: the reported value sits at most one
+    // bucket's relative width above the exact quantile, never below it.
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(approx, exact * std::pow(2.0, 2.0 / 8)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(data.Quantile(1.0), 1000.0);  // Capped at the max.
+}
+
+TEST(MetricsTest, HistogramMacroAndScopedTimerRecord) {
+  DDC_HISTOGRAM_RECORD("test.metrics.hist_macro", 5.0);
+  DDC_HISTOGRAM_RECORD("test.metrics.hist_macro", 7.0);
+  {
+    DDC_HISTOGRAM_SCOPED("test.metrics.hist_scoped");
+  }
+  EXPECT_EQ(MetricsRegistry::Instance().ValueOf("test.metrics.hist_macro"),
+            2);
+  EXPECT_EQ(MetricsRegistry::Instance().ValueOf("test.metrics.hist_scoped"),
+            1);
+}
+
+TEST(MetricsTest, DeltaSinceSubtractsHistograms) {
+  Metric& hist = MetricsRegistry::Instance().GetOrCreate(
+      "test.metrics.hist_delta", MetricKind::kHistogram);
+  hist.Record(10.0);
+  hist.Record(20.0);
+  const std::vector<MetricSample> before =
+      MetricsRegistry::Instance().Snapshot();
+  hist.Record(40.0);
+  const std::vector<MetricSample> delta =
+      DeltaSince(before, MetricsRegistry::Instance().Snapshot());
+
+  const MetricSample* sample = nullptr;
+  for (const MetricSample& s : delta) {
+    if (s.name == "test.metrics.hist_delta") sample = &s;
+  }
+  ASSERT_NE(sample, nullptr);
+  // The interval saw exactly one 40µs record; min/max stay cumulative.
+  EXPECT_EQ(sample->hist.count, 1);
+  EXPECT_EQ(sample->value, 1);
+  EXPECT_DOUBLE_EQ(sample->hist.sum_us(), 40.0);
+  EXPECT_DOUBLE_EQ(sample->hist.min_us(), 10.0);
+  EXPECT_DOUBLE_EQ(sample->hist.max_us(), 40.0);
+  int64_t bucket_total = 0;
+  for (const int64_t b : sample->hist.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, 1);
+}
+
+TEST(MetricsDeathTest, HistogramKindMismatchAborts) {
+  MetricsRegistry::Instance().GetOrCreate("test.metrics.hist_kind_clash",
+                                          MetricKind::kHistogram);
+  EXPECT_DEATH(MetricsRegistry::Instance().GetOrCreate(
+                   "test.metrics.hist_kind_clash", MetricKind::kCounter),
+               "DDC_CHECK failed");
 }
 
 TEST(MetricsDeathTest, KindMismatchAborts) {

@@ -1,0 +1,231 @@
+#include "telemetry/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "engine/sharded_clusterer.h"
+#include "telemetry/metrics.h"
+#include "telemetry/sampler.h"
+#include "telemetry/watchdog.h"
+
+namespace ddc {
+namespace {
+
+// The registry is process-global: tests that poison it (the stall
+// injection latches watchdog.stalls forever) run LAST — gtest executes
+// same-file tests in declaration order.
+
+/// Raw POSIX one-shot HTTP client: connect, send, read to EOF (the server
+/// closes after one response).
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string BodyOf(const std::string& response) {
+  const size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+/// Structural check of Prometheus text exposition: every line is a #
+/// comment or "name[{labels}] value"; histogram buckets are cumulative and
+/// consistent with _count.
+void ValidatePrometheusText(const std::string& text) {
+  int64_t last_bucket = -1;
+  std::string bucket_metric;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << "no value in: " << line;
+    const std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    EXPECT_NE(name.find("ddc_"), std::string::npos) << line;
+
+    const size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      ASSERT_EQ(name.back(), '}') << line;
+      const std::string base = name.substr(0, brace);
+      ASSERT_NE(base.find("_bucket"), std::string::npos) << line;
+      const int64_t cumulative = std::stoll(value);
+      if (base == bucket_metric) {
+        EXPECT_GE(cumulative, last_bucket) << "non-cumulative: " << line;
+      } else {
+        bucket_metric = base;
+      }
+      last_bucket = cumulative;
+    }
+  }
+}
+
+TEST(StatsServerTest, HealthStartsOk) {
+  const HealthReport report = EvaluateHealth();
+  EXPECT_EQ(report.state, HealthReport::State::kOk);
+  EXPECT_TRUE(report.cause.empty());
+}
+
+TEST(StatsServerTest, EphemeralPortBindsAndServes) {
+  StatsServer server(StatsServer::Options{.port = 0, .build_info = "test"},
+                     nullptr);
+  ASSERT_TRUE(server.Start()) << server.error();
+  EXPECT_GT(server.port(), 0);
+
+  const std::string response = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+}
+
+TEST(StatsServerTest, UnknownPathIs404AndVarzParses) {
+  StatsSampler sampler(StatsSampler::Options{.interval_ms = 1000});
+  sampler.Start();
+  StatsServer server(StatsServer::Options{.port = 0, .build_info = "test"},
+                     &sampler);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  EXPECT_NE(HttpGet(server.port(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  // Routing without sockets, too.
+  EXPECT_NE(server.HandleRequest("POST /metrics HTTP/1.1\r\n\r\n")
+                .find("404"),
+            std::string::npos);
+
+  const std::string varz = BodyOf(HttpGet(server.port(), "/varz"));
+  std::string error;
+  const std::optional<JsonValue> doc = JsonParse(varz, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_EQ(doc->type, JsonValue::Type::kObject);
+  EXPECT_NE(doc->Find("metrics"), nullptr);
+  EXPECT_NE(doc->Find("process"), nullptr);
+  EXPECT_NE(doc->Find("sampler"), nullptr);
+}
+
+TEST(StatsServerTest, ScrapeDuringLiveShardedUpdates) {
+  const DbscanParams params{.dim = 2, .eps = 50.0, .min_pts = 4,
+                            .rho = 0.001};
+  ShardedClusterer::Options options;
+  options.shards = 4;
+  options.threads = 4;
+  options.batch = 16;
+  options.warmup = 64;
+
+  StatsServer server(StatsServer::Options{.port = 0, .build_info = "test"},
+                     nullptr);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    ShardedClusterer engine(params, options);
+    std::vector<PointId> ids;
+    for (int i = 0; i < 4000; ++i) {
+      ids.push_back(engine.Insert(Point{static_cast<double>(i % 200) * 10,
+                                        static_cast<double>(i / 200) * 10}));
+      if (i % 512 == 0) engine.Flush();
+      if (i % 7 == 0) engine.Delete(ids[static_cast<size_t>(i) / 2]);
+    }
+    engine.Flush();
+    done.store(true);
+  });
+
+  // Scrape continuously while the engine applies updates: every response
+  // must be a complete 200 with structurally valid exposition text.
+  int scrapes = 0;
+  while (!done.load()) {
+    const std::string response = HttpGet(server.port(), "/metrics");
+    ASSERT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+    ValidatePrometheusText(BodyOf(response));
+    ++scrapes;
+  }
+  writer.join();
+  EXPECT_GT(scrapes, 0);
+
+  // The shard batches left histogram samples behind; the final scrape
+  // must expose them with le-buckets.
+  const std::string text = BodyOf(HttpGet(server.port(), "/metrics"));
+  EXPECT_NE(text.find("# TYPE ddc_engine_shard_batch_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("ddc_engine_shard_batch_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("ddc_engine_snapshot_publish_us_count"),
+            std::string::npos);
+}
+
+// Poisons the registry (watchdog.stalls latches) — keep this test LAST.
+TEST(StatsServerTest, HealthzFlipsToStalledUnderInjectedStall) {
+  StatsServer server(StatsServer::Options{.port = 0, .build_info = "test"},
+                     nullptr);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  WorkerHealth health;
+  health.Beat();
+  health.queue_depth.store(1);  // Backlog, and no further beats: a stall.
+  {
+    Watchdog::Options options;
+    options.deadline_ms = 50;
+    options.poll_ms = 10;
+    Watchdog watchdog({&health}, {"injected"}, options, nullptr);
+
+    // The watchdog needs a few polls to notice; wait for the flip.
+    HealthReport report;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    do {
+      report = EvaluateHealth();
+      if (report.state == HealthReport::State::kStalled) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    } while (std::chrono::steady_clock::now() < deadline);
+    EXPECT_EQ(report.state, HealthReport::State::kStalled);
+    EXPECT_NE(report.cause.find("quiet past deadline"), std::string::npos);
+
+    const std::string response = HttpGet(server.port(), "/healthz");
+    EXPECT_NE(response.find("HTTP/1.1 503"), std::string::npos);
+    EXPECT_NE(response.find("\"state\":\"stalled\""), std::string::npos);
+  }
+
+  // Watchdog destroyed: nobody is stalled *now*, but the episode counter
+  // persists — degraded, not ok.
+  const HealthReport after = EvaluateHealth();
+  EXPECT_EQ(after.state, HealthReport::State::kDegraded);
+  EXPECT_NE(after.cause.find("stall episode"), std::string::npos);
+  const std::string response = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\"state\":\"degraded\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddc

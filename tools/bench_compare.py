@@ -3,7 +3,7 @@
 
 Usage:
     tools/bench_compare.py BASELINE_DIR CANDIDATE_DIR [--threshold=R]
-                           [--key=full|base]
+                           [--key=full|base] [--metrics[=N]]
 
 Pairs files by (scenario, method), prints per-pair throughput ratios
 (candidate / baseline, > 1 is faster) plus p50/p99 update-latency ratios,
@@ -11,6 +11,13 @@ and a geometric-mean summary per method. A key present on only one side is
 reported as a missing pair and not compared; directories with entirely
 non-overlapping method sets are legal input (every key reports as missing
 and the run says so instead of crashing or silently passing).
+
+--metrics[=N] adds a report of the v3 `metrics` sections: for every metric
+name present in both sides of a pair it computes the candidate/baseline
+ratio, aggregates per name across pairs (geometric mean), and prints the N
+(default 10) largest relative shifts in either direction. Purely
+informational — it never affects the exit status; pairs or sides without a
+metrics section are skipped.
 
 --key=base pairs on the method's *base name* (the spec before ':'), for
 comparing runs of one method at different knob settings — e.g. a
@@ -80,6 +87,43 @@ def fmt_ratio(r):
     return "     n/a" if r is None else f"{r:7.2f}x"
 
 
+def report_metric_shifts(base, cand, common, top_n):
+    """Top-N relative shifts across the pairs' v3 `metrics` sections.
+
+    Informational only: counters that doubled or latency quantiles that
+    collapsed stand out here long before they move the throughput gate.
+    """
+    ratios = {}  # metric name -> [candidate/baseline ratio per pair]
+    for key in common:
+        bm = base[key].get("metrics")
+        cm = cand[key].get("metrics")
+        if not isinstance(bm, dict) or not isinstance(cm, dict):
+            continue
+        for name in bm.keys() & cm.keys():
+            b, c = bm[name], cm[name]
+            if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+                continue
+            if b > 0 and c > 0:
+                ratios.setdefault(name, []).append(c / b)
+
+    print()
+    if not ratios:
+        print("metric shifts: no overlapping numeric metrics "
+              "(need schema v3 on both sides)")
+        return
+    shifts = []
+    for name, rs in ratios.items():
+        geo = math.exp(sum(math.log(r) for r in rs) / len(rs))
+        shifts.append((abs(math.log(geo)), geo, name, len(rs)))
+    shifts.sort(reverse=True)
+
+    print(f"top {min(top_n, len(shifts))} metric shifts "
+          f"(candidate/baseline geomean, {len(ratios)} comparable metrics; "
+          "informational)")
+    for _, geo, name, pairs in shifts[:top_n]:
+        print(f"  {name:<44} {geo:9.3f}x over {pairs} pair(s)")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two BENCH JSON directories.")
@@ -91,6 +135,11 @@ def main():
     parser.add_argument("--key", choices=("full", "base"), default="full",
                         help="pair on the full method spec (default) or on "
                              "the base method name before ':'")
+    parser.add_argument("--metrics", nargs="?", type=int, const=10,
+                        default=None, metavar="N",
+                        help="also report the top-N relative shifts in the "
+                             "v3 metrics sections (default N=10; never "
+                             "affects the exit status)")
     args = parser.parse_args()
 
     base = load_bench_dir(args.baseline, args.key)
@@ -164,6 +213,9 @@ def main():
     for method, ratios in sorted(per_method.items()):
         geo = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
         print(f"geomean {method}: {geo:.2f}x over {len(ratios)} scenario(s)")
+
+    if args.metrics is not None and common:
+        report_metric_shifts(base, cand, common, args.metrics)
 
     if not common:
         print("no comparable pairs: the method sets do not overlap "

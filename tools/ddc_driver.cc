@@ -40,6 +40,20 @@
 //                 Chrome trace_event JSON to this path at exit (load it in
 //                 chrome://tracing or ui.perfetto.dev).
 //
+// Live monitoring (see the "Monitoring" section of README.md):
+//   --stats-port  Serve GET /metrics (Prometheus text), /varz (JSON) and
+//                 /healthz on 127.0.0.1:<port>. 0 binds an ephemeral port;
+//                 the chosen port is printed as
+//                 "stats: listening on 127.0.0.1:<port>". Unset = no
+//                 listener, no overhead beyond the metrics themselves.
+//   --stats-interval-ms
+//                 Background sampler tick (default 250): every tick the
+//                 registry delta lands in a bounded in-memory ring.
+//   --stats-ring-out
+//                 Write the sampled ring as a JSON time series to this path
+//                 at exit/SIGINT (implies the sampler even without
+//                 --stats-port).
+//
 // Durability (see the "Durability" section of README.md):
 //   --wal-dir     Log every applied update to a write-ahead log before it
 //                 leaves the timing window. Each scenario×method run logs
@@ -89,6 +103,8 @@
 #include "telemetry/metrics.h"
 #include "telemetry/report.h"
 #include "telemetry/resource.h"
+#include "telemetry/sampler.h"
+#include "telemetry/stats_server.h"
 #include "telemetry/trace.h"
 #include "workload/runner.h"
 #include "workload/workload.h"
@@ -326,6 +342,36 @@ int main(int argc, char** argv) {
   }
   const bool single_run = specs.size() == 1 && methods.size() == 1;
 
+  // Live monitoring: the sampler runs whenever anything consumes it — a
+  // ring dump or the stats server; the server additionally needs a port.
+  const bool has_stats_port = flags.Has("stats-port");
+  const int stats_port = static_cast<int>(flags.GetInt("stats-port", 0));
+  const int stats_interval_ms =
+      static_cast<int>(flags.GetInt("stats-interval-ms", 250));
+  const std::string stats_ring_out = flags.GetString("stats-ring-out", "");
+
+  std::unique_ptr<ddc::StatsSampler> sampler;
+  if (has_stats_port || !stats_ring_out.empty()) {
+    ddc::StatsSampler::Options sampler_options;
+    sampler_options.interval_ms = stats_interval_ms;
+    sampler = std::make_unique<ddc::StatsSampler>(sampler_options);
+    sampler->Start();
+  }
+  std::unique_ptr<ddc::StatsServer> stats_server;
+  if (has_stats_port) {
+    ddc::StatsServer::Options server_options;
+    server_options.port = stats_port;
+    server_options.build_info = "ddc_driver";
+    stats_server =
+        std::make_unique<ddc::StatsServer>(server_options, sampler.get());
+    if (!stats_server->Start()) {
+      std::fprintf(stderr, "stats: %s\n", stats_server->error().c_str());
+      return 1;
+    }
+    std::printf("stats: listening on 127.0.0.1:%d\n", stats_server->port());
+    std::fflush(stdout);
+  }
+
   // A first Ctrl-C ends the current run at the next operation boundary and
   // still flushes every output; a second one gets the default disposition
   // (set by the handler itself) and kills the process.
@@ -516,6 +562,15 @@ int main(int argc, char** argv) {
   // truncated the sweep, so an interrupted invocation still leaves valid
   // observability artifacts behind.
   bool flush_ok = true;
+  if (stats_server != nullptr) stats_server->Stop();
+  if (sampler != nullptr) {
+    // One last tick so the ring always covers the run's tail, then dump.
+    sampler->SampleNow();
+    sampler->Stop();
+    if (!stats_ring_out.empty()) {
+      flush_ok &= WriteFileOrWarn(stats_ring_out, sampler->RingJson());
+    }
+  }
   if (!metrics_out.empty()) {
     flush_ok &= WriteFileOrWarn(metrics_out, MetricsDumpJson());
   }
