@@ -1,10 +1,15 @@
 #include "engine/shard_map.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 
 namespace ddc {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
 
 ShardMap::ShardMap(int shards, int dim, double halo)
     : shards_(shards), dim_(dim), halo_(halo) {
@@ -16,9 +21,10 @@ ShardMap::ShardMap(int shards, int dim, double halo)
 void ShardMap::InitFromSample(const std::vector<Point>& sample) {
   DDC_CHECK(!initialized_);
   initialized_ = true;
-  // A single shard owns everything: HoldersOf is {0} and NearBoundary is
-  // false regardless of slab geometry.
-  if (shards_ == 1) return;
+  // The split dimension and initial extent are computed even for a single
+  // shard (HoldersOf is {0} and NearBoundary is false regardless, since
+  // there are no cuts) so that a later SplitSlab knows which dimension the
+  // partition runs along.
   if (!sample.empty()) {
     double best_spread = -1;
     for (int i = 0; i < dim_; ++i) {
@@ -36,7 +42,7 @@ void ShardMap::InitFromSample(const std::vector<Point>& sample) {
     }
   }
   // Zero spread (identical sample points) or no sample at all: keep width 1
-  // so SlabIndex stays well defined; the floor below still applies.
+  // so the cut layout stays well defined; the floor below still applies.
   if (width_ <= 0) width_ = 1;
   // Slabs narrower than 2·halo would replicate every point into several
   // shards and register nearly every core point with the stitcher — an
@@ -44,15 +50,45 @@ void ShardMap::InitFromSample(const std::vector<Point>& sample) {
   // effective shards, not toward all-pairs stitching. Width >= 2·halo caps
   // the replication factor at 2.
   width_ = std::max(width_, 2 * halo_);
+  cuts_.clear();
+  cuts_.reserve(shards_ - 1);
+  for (int k = 1; k < shards_; ++k) {
+    cuts_.push_back(lo_ + static_cast<double>(k) * width_);
+  }
 }
 
-int ShardMap::SlabIndex(double x) const {
-  const double idx = std::floor((x - lo_) / width_);
-  // Clamp in double space first: a wildly distant point must not overflow
-  // the int conversion.
-  if (idx < 0) return -1;
-  if (idx >= static_cast<double>(shards_)) return shards_;
-  return static_cast<int>(idx);
+double ShardMap::slab_lo(int shard) const {
+  DDC_DCHECK(shard >= 0 && shard < shards_);
+  return shard == 0 ? -kInf : cuts_[shard - 1];
+}
+
+double ShardMap::slab_hi(int shard) const {
+  DDC_DCHECK(shard >= 0 && shard < shards_);
+  return shard == shards_ - 1 ? kInf : cuts_[shard];
+}
+
+bool ShardMap::CanSplitAt(int shard, double cut) const {
+  if (!initialized_ || shard < 0 || shard >= shards_) return false;
+  if (!std::isfinite(cut)) return false;
+  const double lo = slab_lo(shard);
+  const double hi = slab_hi(shard);
+  // Both children must keep every slab at least 2·halo wide (the
+  // replication-factor bound); an infinite end side constrains nothing.
+  if (std::isfinite(lo) && cut - lo < 2 * halo_) return false;
+  if (std::isfinite(hi) && hi - cut < 2 * halo_) return false;
+  return true;
+}
+
+void ShardMap::SplitSlab(int shard, double cut) {
+  DDC_CHECK(CanSplitAt(shard, cut));
+  cuts_.insert(cuts_.begin() + shard, cut);
+  ++shards_;
+}
+
+void ShardMap::MergeSlabs(int left) {
+  DDC_CHECK(initialized_ && left >= 0 && left + 1 < shards_);
+  cuts_.erase(cuts_.begin() + left);
+  --shards_;
 }
 
 }  // namespace ddc

@@ -1,6 +1,7 @@
 #ifndef DDC_ENGINE_SHARD_MAP_H_
 #define DDC_ENGINE_SHARD_MAP_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "common/check.h"
@@ -8,18 +9,21 @@
 
 namespace ddc {
 
-/// The engine's spatial partition: S half-open slabs of equal width along
-/// one dimension, chosen as the spread-maximizing dimension of a warmup
-/// sample. The two end slabs extend to ±infinity (owner indices clamp), so
-/// every point has exactly one owner.
+/// The engine's spatial partition: S half-open slabs along one dimension,
+/// chosen as the spread-maximizing dimension of a warmup sample. The slabs
+/// are described by an ascending vector of S-1 interior cuts; slab k covers
+/// [cut[k-1], cut[k]) with the two end slabs extending to ±infinity, so
+/// every point has exactly one owner. InitFromSample lays the cuts out
+/// uniformly; SplitSlab/MergeSlabs mutate the partition live (elastic
+/// rebalancing), preserving the invariant that adjacent cuts stay at least
+/// 2·halo apart — so the replication factor never exceeds 2.
 ///
 /// Sharding is sound because the paper's machinery is spatially local: a
 /// point's core status and its grid-graph edges depend only on geometry
 /// within (1+ρ)ε. A shard that additionally holds every foreign point whose
 /// slab coordinate lies within that halo of its slab therefore computes
 /// exact counts and core statuses for all the points it owns. HoldersOf
-/// returns that owner-plus-halo shard range (always contiguous; it may span
-/// several shards when slabs are narrower than the halo).
+/// returns that owner-plus-halo shard range (always contiguous).
 class ShardMap {
  public:
   /// A map for `shards` slabs with the given halo width ((1+ρ)ε in the
@@ -40,15 +44,24 @@ class ShardMap {
   int shards() const { return shards_; }
   int dim() const { return dim_; }
   double halo() const { return halo_; }
-  /// The split dimension / slab geometry (meaningful once initialized).
+  /// The split dimension / initial slab geometry (meaningful once
+  /// initialized; slab_width is the uniform width InitFromSample laid out,
+  /// before any SplitSlab/MergeSlabs reshaped the partition).
   int split_dim() const { return split_dim_; }
   double lo() const { return lo_; }
   double slab_width() const { return width_; }
 
+  /// The ascending interior cuts (size shards() - 1). cuts()[k] separates
+  /// slab k from slab k+1.
+  const std::vector<double>& cuts() const { return cuts_; }
+  /// Lower/upper edge of `shard`'s slab; -/+infinity for the end slabs.
+  double slab_lo(int shard) const;
+  double slab_hi(int shard) const;
+
   /// The shard whose slab covers `p` (end slabs absorb outliers).
   int OwnerOf(const Point& p) const {
     DDC_DCHECK(initialized_);
-    return ClampShard(SlabIndex(p[split_dim_]));
+    return SlabIndexOf(p[split_dim_]);
   }
 
   /// Contiguous shard range [first, last] that must hold `p`: the owner plus
@@ -59,27 +72,37 @@ class ShardMap {
   };
   Range HoldersOf(const Point& p) const {
     const double x = p[split_dim_];
-    return Range{ClampShard(SlabIndex(x - halo_)),
-                 ClampShard(SlabIndex(x + halo_))};
+    return Range{SlabIndexOf(x - halo_), SlabIndexOf(x + halo_)};
   }
 
   /// True when `p`, owned by `shard`, lies within `halo` of one of the
   /// shard's finite slab edges — i.e. p is replicated into (or reachable
   /// from) a neighboring shard and participates in cross-shard stitching.
   bool NearBoundary(const Point& p, int shard) const {
-    if (shards_ == 1) return false;
     const double x = p[split_dim_];
-    if (shard > 0 && x < lo_ + static_cast<double>(shard) * width_ + halo_) {
-      return true;
-    }
-    return shard < shards_ - 1 &&
-           x > lo_ + static_cast<double>(shard + 1) * width_ - halo_;
+    if (shard > 0 && x < cuts_[shard - 1] + halo_) return true;
+    return shard < shards_ - 1 && x > cuts_[shard] - halo_;
   }
 
+  /// True when slab `shard` may be split at `cut`: both children keep a
+  /// width of at least 2·halo against their finite edges (infinite end
+  /// slabs only constrain the finite side).
+  bool CanSplitAt(int shard, double cut) const;
+
+  /// Splits slab `shard` at `cut` into slabs `shard` and `shard + 1`; every
+  /// slab above shifts its index up by one. Requires CanSplitAt.
+  void SplitSlab(int shard, double cut);
+
+  /// Merges slabs `left` and `left + 1` into slab `left`; every slab above
+  /// shifts its index down by one. Always geometry-legal (widths add).
+  void MergeSlabs(int left);
+
  private:
-  int SlabIndex(double x) const;
-  int ClampShard(int s) const {
-    return s < 0 ? 0 : (s >= shards_ ? shards_ - 1 : s);
+  /// Index of the slab covering coordinate x: the number of cuts <= x.
+  /// Always in [0, shards_-1]; the end slabs are unbounded.
+  int SlabIndexOf(double x) const {
+    return static_cast<int>(
+        std::upper_bound(cuts_.begin(), cuts_.end(), x) - cuts_.begin());
   }
 
   int shards_;
@@ -89,6 +112,7 @@ class ShardMap {
   int split_dim_ = 0;
   double lo_ = 0;
   double width_ = 1;
+  std::vector<double> cuts_;
 };
 
 }  // namespace ddc

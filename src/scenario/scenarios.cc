@@ -471,6 +471,96 @@ class HotspotScenario : public Scenario {
 };
 
 // ---------------------------------------------------------------------------
+// hotspot-migrate — a hot band whose center jumps around the space.
+
+class HotspotMigrateScenario : public Scenario {
+ public:
+  std::string name() const override { return "hotspot-migrate"; }
+  std::string help() const override {
+    return "Moving hotspot: like `hotspot`, but the hot band (width"
+           " band*extent along dimension 0) jumps to a fresh random location"
+           " every `period` updates and its dense blobs are re-drawn inside"
+           " the new band; deletes expire the oldest alive point (FIFO), so"
+           " abandoned bands actually drain. Built to force repeated"
+           " split/merge cycles in the elastic sharded engine: wherever the"
+           " band sits turns hot, wherever it left goes cold. Keys: n=100000,"
+           " period=n/6, hot=0.85, band=0.08, clusters=8, cold=12, ins=0.7,"
+           " radius=100, noise=0.03, dim=3, qevery=1000, qmin, qmax,"
+           " extent=50000, seed";
+  }
+
+  Workload Generate(const ScenarioSpec& spec) const override {
+    const CommonKeys keys = ReadCommonKeys(spec, 100000, 3, 1000);
+    const int64_t period =
+        std::max<int64_t>(1, spec.GetInt("period", keys.n / 6));
+    const double hot = spec.GetDouble("hot", 0.85);
+    const double band = spec.GetDouble("band", 0.08);
+    const int clusters =
+        static_cast<int>(std::max<int64_t>(1, spec.GetInt("clusters", 8)));
+    const int cold =
+        static_cast<int>(std::max<int64_t>(1, spec.GetInt("cold", 12)));
+    const double ins = spec.GetDouble("ins", 0.7);
+    const double radius = spec.GetDouble("radius", 100.0);
+    const double noise = spec.GetDouble("noise", 0.03);
+    const double extent = spec.GetDouble("extent", 50000.0);
+    DDC_CHECK(hot >= 0 && hot <= 1);
+    DDC_CHECK(band > 0 && band <= 1);
+    DDC_CHECK(ins > 0 && ins <= 1);
+
+    Rng rng(spec.seed());
+    const double band_w = band * extent;
+    // Cold blobs are fixed for the whole run: a sparse background the band
+    // wanders across.
+    std::vector<Point> cold_centers;
+    for (int c = 0; c < cold; ++c) {
+      cold_centers.push_back(UniformPoint(rng, keys.dim, extent));
+    }
+
+    double band_lo = 0;
+    std::vector<Point> hot_centers;
+    const auto rehome = [&] {
+      band_lo = rng.NextDouble(0, std::max(extent - band_w, 0.0));
+      hot_centers.clear();
+      for (int c = 0; c < clusters; ++c) {
+        Point p = UniformPoint(rng, keys.dim, extent);
+        p[0] = band_lo + rng.NextDouble(0, band_w);
+        hot_centers.push_back(p);
+      }
+    };
+    rehome();
+
+    WorkloadBuilder b(rng, keys.dim, keys.query_every, keys.query_min,
+                      keys.query_max);
+    int64_t next_hop = period;
+    while (b.updates() < keys.n) {
+      if (b.updates() >= next_hop) {
+        rehome();
+        next_hop += period;
+      }
+      const bool do_insert = b.alive_count() <= 1 || rng.NextBernoulli(ins);
+      if (!do_insert) {
+        // FIFO expiry drains the previous band once the hotspot moves on —
+        // the abandoned slab goes genuinely cold instead of lingering.
+        b.DeleteOldestAlive();
+        continue;
+      }
+      const bool in_band = rng.NextBernoulli(hot);
+      if (rng.NextBernoulli(noise)) {
+        Point p = UniformPoint(rng, keys.dim, extent);
+        if (in_band) p[0] = band_lo + rng.NextDouble(0, band_w);
+        b.InsertNew(p);
+        continue;
+      }
+      const std::vector<Point>& centers =
+          in_band ? hot_centers : cold_centers;
+      b.InsertNew(UniformInBall(centers[rng.NextBelow(centers.size())],
+                                radius, keys.dim, rng));
+    }
+    return b.Finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
 // query-storm — update trickle under a heavy C-group-by query mix.
 
 class QueryStormScenario : public Scenario {
@@ -603,6 +693,7 @@ const std::vector<std::unique_ptr<Scenario>>& AllScenarios() {
     all->push_back(std::make_unique<ZipfScenario>());
     all->push_back(std::make_unique<DriftScenario>());
     all->push_back(std::make_unique<HotspotScenario>());
+    all->push_back(std::make_unique<HotspotMigrateScenario>());
     all->push_back(std::make_unique<QueryStormScenario>());
     all->push_back(std::make_unique<SplitMergeScenario>());
     return all;

@@ -72,6 +72,26 @@ std::vector<Combo> AllCombos(double rho) {
                         return std::make_unique<ShardedClusterer>(p, options);
                       }});
   }
+  // The sharded engine with live rebalancing turned all the way up: a
+  // one-epoch trigger streak, no cooldown and a tiny activation floor, so
+  // the small conformance workloads cross split and merge epochs and the
+  // sandwich is checked on either side of every routing-map swap.
+  {
+    ShardedClusterer::Options options;
+    options.shards = 4;
+    options.threads = 4;
+    options.batch = 16;
+    options.warmup = 64;
+    options.rebalance.enabled = true;
+    options.rebalance.split_imbalance = 1.3;
+    options.rebalance.epochs = 1;
+    options.rebalance.cooldown = 0;
+    options.rebalance.min_points = 32;
+    combos.push_back({"sharded/s4-rebalance", true,
+                      [options](const DbscanParams& p) {
+                        return std::make_unique<ShardedClusterer>(p, options);
+                      }});
+  }
   return combos;
 }
 
@@ -239,6 +259,9 @@ INSTANTIATE_TEST_SUITE_P(
             ScenarioCase{"Hotspot",
                          "hotspot:n=360,clusters=3,cold=3,band=0.15,dim=2,"
                          "extent=2500,qevery=0"},
+            ScenarioCase{"HotspotMigrate",
+                         "hotspot-migrate:n=360,period=90,clusters=3,cold=3,"
+                         "band=0.12,dim=2,extent=2500,qevery=0"},
             ScenarioCase{"QueryStorm",
                          "query-storm:n=360,clusters=3,dim=2,extent=2500,"
                          "qevery=0"},

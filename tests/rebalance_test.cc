@@ -1,0 +1,325 @@
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/static_dbscan.h"
+#include "engine/sharded_clusterer.h"
+#include "persist/snapshot_io.h"
+#include "scenario/scenario.h"
+#include "telemetry/metrics.h"
+#include "tests/test_util.h"
+#include "workload/workload.h"
+
+namespace ddc {
+namespace {
+
+/// Elastic shard rebalancing: correctness of live split/merge against the
+/// exact oracle, the lock-free routing-map swap under concurrent readers
+/// (run under TSan in CI), persistence of post-split snapshots, and the
+/// stable-id gauge keying that keeps telemetry truthful across reshapes.
+
+/// Aggressive controller settings so the small test workloads cross split
+/// and merge epochs quickly: one-epoch trigger streaks, no cooldown, a tiny
+/// activation floor.
+ShardedClusterer::Options RebalancingOptions(int shards) {
+  ShardedClusterer::Options options;
+  options.shards = shards;
+  options.threads = shards;
+  options.batch = 16;
+  options.warmup = 64;
+  options.rebalance.enabled = true;
+  options.rebalance.split_imbalance = 1.3;
+  options.rebalance.epochs = 1;
+  options.rebalance.cooldown = 0;
+  options.rebalance.min_points = 32;
+  // A tight ceiling: once the drifting hot band has split its way up to 6
+  // slabs, further splits must first merge a cold pair to free budget, so
+  // every run exercises both reshape directions.
+  options.rebalance.max_shards = 6;
+  return options;
+}
+
+/// A migrating hotspot: the hot band drifts along dim 0 every `period`
+/// updates, so slabs heat up, split, cool down and merge over one run.
+Workload MigratingHotspot(int n, int period, uint64_t seed) {
+  const std::string spec =
+      "hotspot-migrate:n=" + std::to_string(n) +
+      ",period=" + std::to_string(period) +
+      ",hot=0.9,band=0.1,clusters=3,cold=3,dim=2,extent=2500,qevery=0";
+  return BuildScenarioWorkload(spec, seed);
+}
+
+/// The sandwich harness from conformance_test, inlined for one engine: at
+/// every checkpoint the reported clustering refines exact DBSCAN at
+/// (1+rho)·eps and is refined by exact DBSCAN at eps; verbatim equality at
+/// rho == 0. Split/merge epochs give the engine every chance to corrupt
+/// routing, ghost replication or the stitch — the oracle does not care how
+/// the points are sharded.
+class RebalanceConformanceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RebalanceConformanceTest, SplitAndMergeTrackTheOracleAcrossEpochs) {
+  const double rho = GetParam();
+  const DbscanParams params{.dim = 2, .eps = 110.0, .min_pts = 5, .rho = rho};
+  const Workload w = MigratingHotspot(1800, 300, 47);
+
+  ShardedClusterer engine(params, RebalancingOptions(4));
+  std::vector<PointId> ids(w.points.size(), kInvalidPoint);
+  int64_t updates = 0;
+  for (const Operation& op : w.ops) {
+    if (op.type == Operation::Type::kQuery) continue;
+    ApplyOp(engine, w, op, ids);
+    // Flush often: every dirty Flush is a stitch epoch and thus a chance
+    // for the controller to act, so the checkpoints below genuinely land
+    // on both sides of split/merge boundaries.
+    if (++updates % 40 == 0) engine.Flush();
+    if (updates % 150 != 0 && updates != w.num_updates) continue;
+
+    const CGroupByResult reported =
+        RemapToInsertionIndex(engine.QueryAll(), ids);
+    const CGroupByResult lower = OracleOverAlive(w.points, ids, params);
+    if (rho == 0) {
+      ASSERT_EQ(reported, lower)
+          << "rho == 0 must reproduce exact DBSCAN verbatim (update "
+          << updates << ", " << engine.rebalance_splits() << " splits, "
+          << engine.rebalance_merges() << " merges so far)";
+      continue;
+    }
+    DbscanParams outer = params;
+    outer.eps = params.eps_outer();
+    outer.rho = 0;
+    const CGroupByResult upper = OracleOverAlive(w.points, ids, outer);
+    std::string why;
+    ASSERT_TRUE(CheckSandwich(lower, reported, upper, &why))
+        << why << " (update " << updates << ", "
+        << engine.rebalance_splits() << " splits, "
+        << engine.rebalance_merges() << " merges so far)";
+  }
+
+  // The run must actually have exercised the machinery under test: the
+  // drifting hot band forces splits, and the slabs it abandons cool down
+  // below the merge threshold.
+  EXPECT_GT(engine.rebalance_splits(), 0);
+  EXPECT_GT(engine.rebalance_merges(), 0);
+  EXPECT_EQ(engine.size(), w.num_inserts - w.num_deletes);
+  EXPECT_EQ(engine.shard_map().shards(),
+            static_cast<int>(engine.shard_map().cuts().size()) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rho, RebalanceConformanceTest,
+                         ::testing::Values(0.0, 0.001, 0.1),
+                         [](const auto& info) {
+                           return info.param == 0.0     ? "Exact"
+                                  : info.param == 0.001 ? "TinyRho"
+                                                        : "WideRho";
+                         });
+
+/// The routing-map swap must be invisible to concurrent readers: four
+/// threads hammer CurrentSnapshot() while the ingest thread drives
+/// aggressive split/merge cycles. Each reader checks every snapshot is
+/// internally consistent — the queried alive set is partitioned exactly by
+/// groups + noise — which a torn routing map or a snapshot referencing a
+/// destroyed shard would break. This is the CI TSan target for the
+/// rebalance data-race surface.
+TEST(RebalanceTest, RoutingSwapIsInvisibleToConcurrentReaders) {
+  const DbscanParams params{.dim = 2, .eps = 110.0, .min_pts = 5,
+                            .rho = 0.001};
+  const Workload w = MigratingHotspot(1500, 250, 53);
+
+  ShardedClusterer engine(params, RebalancingOptions(4));
+  std::atomic<PointId> max_id{-1};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> readers;
+  std::vector<int64_t> reads(4, 0);
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto snap = engine.CurrentSnapshot();
+        if (snap == nullptr) continue;
+        const PointId hi = max_id.load(std::memory_order_acquire);
+        std::vector<PointId> q;
+        for (PointId id = 0; id <= hi; ++id) {
+          if (snap->alive(id)) q.push_back(id);
+        }
+        if (q.empty()) continue;
+        const CGroupByResult result = snap->Query(q);
+        size_t covered = result.noise.size();
+        std::set<PointId> seen(result.noise.begin(), result.noise.end());
+        for (const auto& g : result.groups) {
+          covered += g.size();
+          seen.insert(g.begin(), g.end());
+        }
+        // Exactly the queried ids, each exactly once — over the whole
+        // group-by result, whatever epoch this snapshot belongs to.
+        ASSERT_EQ(covered, q.size());
+        ASSERT_EQ(seen.size(), q.size());
+        ++reads[r];
+      }
+    });
+  }
+
+  std::vector<PointId> ids(w.points.size(), kInvalidPoint);
+  int64_t updates = 0;
+  for (const Operation& op : w.ops) {
+    if (op.type == Operation::Type::kQuery) continue;
+    if (op.type == Operation::Type::kInsert) {
+      ids[op.target] = engine.Insert(w.points[op.target]);
+      max_id.store(std::max(max_id.load(std::memory_order_relaxed),
+                            ids[op.target]),
+                   std::memory_order_release);
+    } else {
+      engine.Delete(ids[op.target]);
+      ids[op.target] = kInvalidPoint;
+    }
+    if (++updates % 30 == 0) engine.Flush();
+  }
+  engine.Flush();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_GT(engine.rebalance_splits(), 0);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_GT(reads[r], 0) << "reader " << r << " never completed a query";
+  }
+}
+
+/// A post-split (and post-merge) ShardedSnapshot must survive the disk
+/// round-trip bit-identically: the reshaped routing records, per-shard
+/// snapshots and stitch table all serialize, and the loaded copy answers
+/// Query exactly like the live one.
+TEST(RebalanceTest, PostSplitSnapshotRoundTripsThroughDisk) {
+  const DbscanParams params{.dim = 2, .eps = 110.0, .min_pts = 5,
+                            .rho = 0.001};
+  const Workload w = MigratingHotspot(1000, 250, 59);
+
+  ShardedClusterer engine(params, RebalancingOptions(4));
+  std::vector<PointId> ids(w.points.size(), kInvalidPoint);
+  int64_t updates = 0;
+  for (const Operation& op : w.ops) {
+    if (op.type == Operation::Type::kQuery) continue;
+    ApplyOp(engine, w, op, ids);
+    if (++updates % 40 == 0) engine.Flush();
+  }
+  const auto live = engine.Snapshot();
+  ASSERT_GT(engine.rebalance_splits(), 0)
+      << "workload failed to trigger a split; nothing under test";
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ddc_rebalance_snap.snap")
+          .string();
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(*live, params, 0, path, &error)) << error;
+  SnapshotMeta meta;
+  const auto loaded = LoadSnapshot(path, &meta, &error);
+  std::filesystem::remove(path);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(meta.kind, "sharded");
+
+  std::vector<PointId> q;
+  for (PointId id = 0; id < static_cast<PointId>(w.points.size()); ++id) {
+    if (live->alive(id)) q.push_back(id);
+  }
+  ASSERT_EQ(static_cast<int64_t>(q.size()), engine.size());
+  EXPECT_EQ(loaded->size(), live->size());
+  CGroupByResult a = live->Query(q);
+  CGroupByResult b = loaded->Query(q);
+  a.Canonicalize();
+  b.Canonicalize();
+  EXPECT_EQ(a, b) << "loaded snapshot diverged from the live one";
+}
+
+/// Gauges key on stable shard ids, so a reshape must (a) zero every retired
+/// shard's gauges — stale occupancy would double-count — and (b) keep the
+/// live gauges summing to the alive population. This is the telemetry
+/// contract PublishShardMetrics documents.
+TEST(RebalanceTest, RetiredShardGaugesAreZeroedAndLiveOnesSum) {
+  const DbscanParams params{.dim = 2, .eps = 110.0, .min_pts = 5,
+                            .rho = 0.001};
+  const Workload w = MigratingHotspot(1000, 250, 61);
+
+  ShardedClusterer engine(params, RebalancingOptions(4));
+  std::vector<PointId> ids(w.points.size(), kInvalidPoint);
+  int64_t updates = 0;
+  for (const Operation& op : w.ops) {
+    if (op.type == Operation::Type::kQuery) continue;
+    ApplyOp(engine, w, op, ids);
+    if (++updates % 40 == 0) {
+      engine.Flush();
+      // Publish mid-run too: retired ids must be zeroed at the *next*
+      // publish after the reshape, not only at the end.
+      if (updates % 200 == 0) engine.PublishShardMetrics();
+    }
+  }
+  engine.PublishShardMetrics();
+  ASSERT_GT(engine.rebalance_splits(), 0);
+  const int live_shards = engine.shard_map().shards();
+
+  const MetricsRegistry& registry = MetricsRegistry::Instance();
+  EXPECT_EQ(registry.ValueOf("engine.shards", -1), live_shards);
+  EXPECT_EQ(registry.ValueOf("engine.shard_imbalance", -1),
+            engine.shard_imbalance_milli());
+
+  // Splits/merges retire ids, so more ids exist than live shards. Absent
+  // gauges read as 0 here; stale (unretired) gauges would break the sum.
+  int64_t owned_sum = 0;
+  int ids_with_occupancy = 0;
+  std::set<int64_t> slabs_seen;
+  for (int id = 0; id < ShardedClusterer::kMaxShards; ++id) {
+    const int64_t owned =
+        registry.ValueOf(ShardedClusterer::ShardMetricName(id, "owned"), 0);
+    owned_sum += owned;
+    if (owned > 0) {
+      ++ids_with_occupancy;
+      slabs_seen.insert(
+          registry.ValueOf(ShardedClusterer::ShardMetricName(id, "slab"),
+                           -1));
+    }
+  }
+  EXPECT_EQ(owned_sum, engine.size())
+      << "per-id owned gauges must partition the alive set; a stale "
+         "retired-shard gauge double-counts";
+  EXPECT_LE(ids_with_occupancy, live_shards);
+  // Occupied shards sit at distinct slab positions within the live range.
+  for (const int64_t slab : slabs_seen) {
+    EXPECT_GE(slab, 0);
+    EXPECT_LT(slab, live_shards);
+  }
+  EXPECT_EQ(static_cast<int>(slabs_seen.size()), ids_with_occupancy);
+}
+
+/// Disabled controller: the imbalance gauge is still maintained (operators
+/// can see the skew they are not yet acting on) but the topology never
+/// changes.
+TEST(RebalanceTest, DisabledControllerOnlyObserves) {
+  const DbscanParams params{.dim = 2, .eps = 110.0, .min_pts = 5,
+                            .rho = 0.001};
+  const Workload w = MigratingHotspot(600, 200, 67);
+
+  ShardedClusterer::Options options = RebalancingOptions(4);
+  options.rebalance.enabled = false;
+  ShardedClusterer engine(params, options);
+  std::vector<PointId> ids(w.points.size(), kInvalidPoint);
+  int64_t updates = 0;
+  for (const Operation& op : w.ops) {
+    if (op.type == Operation::Type::kQuery) continue;
+    ApplyOp(engine, w, op, ids);
+    if (++updates % 50 == 0) engine.Flush();
+  }
+  engine.Flush();
+  EXPECT_EQ(engine.rebalance_splits(), 0);
+  EXPECT_EQ(engine.rebalance_merges(), 0);
+  EXPECT_EQ(engine.shard_map().shards(), 4);
+  // The migrating hot band leaves a genuinely skewed static partition.
+  EXPECT_GT(engine.shard_imbalance_milli(), 1000);
+}
+
+}  // namespace
+}  // namespace ddc

@@ -20,6 +20,7 @@ const char* kTinySpecs[] = {
     "zipf:n=600,clusters=8,alpha=1.2,ins=0.8,qevery=100",
     "drift:n=600,clusters=4,window=200,qevery=100",
     "hotspot:n=600,clusters=4,cold=6,band=0.1,qevery=100",
+    "hotspot-migrate:n=600,period=150,clusters=4,cold=6,band=0.1,qevery=100",
     "query-storm:n=600,clusters=4,qevery=10,qmin=8,qmax=32",
     "split-merge:n=600,eps=150,qevery=100",
 };
@@ -216,6 +217,22 @@ TEST(ScenarioWorkloadsTest, ScenarioShapesMatchTheirContracts) {
   {
     const Workload w = BuildScenarioWorkload("zipf:n=200,dim=5", 1);
     EXPECT_EQ(w.dim, 5);
+  }
+  // hotspot-migrate: the hot band actually moves — with every insert forced
+  // into the band, the dim-0 spread across the run far exceeds one band
+  // width (stationary hotspot would stay within band_w + 2*radius = 4200).
+  {
+    const Workload w = BuildScenarioWorkload(
+        "hotspot-migrate:n=900,period=300,hot=1.0,noise=0,cold=1,qevery=0",
+        1);
+    EXPECT_GT(w.num_deletes, 0);
+    double lo = 1e18, hi = -1e18;
+    for (const Operation& op : w.ops) {
+      if (op.type != Operation::Type::kInsert) continue;
+      lo = std::min(lo, w.points[op.target][0]);
+      hi = std::max(hi, w.points[op.target][0]);
+    }
+    EXPECT_GT(hi - lo, 6000.0);
   }
   // query-storm: queries dominate the op stream (one every qevery=5
   // updates by default), with the configured |Q| bounds, and the trickle
